@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper artifact and *emits* its report: the
+table is printed (visible with ``pytest -s``) and persisted under
+``benchmarks/reports/`` so the regenerated rows survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.ga import GAConfig, SearchBudget
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it to ``benchmarks/reports/{name}.txt``."""
+    print(f"\n{text}\n")
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def search_budget() -> SearchBudget:
+    """Search budget for benches.
+
+    Defaults to the fast budget so the full harness completes in
+    minutes; set ``REPRO_BENCH_BUDGET=paper`` for the larger budget used
+    to produce EXPERIMENTS.md.
+    """
+    if os.environ.get("REPRO_BENCH_BUDGET", "fast").lower() == "paper":
+        return SearchBudget.paper()
+    return SearchBudget.fast()
+
+
+def quick_budget() -> SearchBudget:
+    """Minimal budget for ablations that run many searches."""
+    return SearchBudget(
+        level1=GAConfig(
+            population_size=6, generations=4, elite_count=1, patience=3
+        ),
+        level2=GAConfig(
+            population_size=8, generations=6, elite_count=1, patience=3
+        ),
+    )

@@ -1,0 +1,83 @@
+"""A2: ablating the parallelism-strategy families.
+
+Evaluates one workload on a fixed four-accelerator set under
+(a) no partitioning, (b) ES-only search, (c) the full ES+SS space —
+isolating what each family of Section IV contributes. Both residency
+scenarios are reported: with weights resident, SS has nothing to save;
+with per-inference weight streaming (the Table IV scenario), shared
+shards trade fast intra-group rotations against slow host reads — the
+exact motivation of Section IV.
+"""
+
+from repro.accelerators import design2_systolic
+from repro.core.evaluator import EvaluatorOptions, MappingEvaluator
+from repro.core.ga import GAConfig, optimize_set
+from repro.core.sharding import NO_PARALLELISM, ParallelismStrategy
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+from repro.utils import make_rng
+from repro.utils.tables import format_table
+
+from _report import emit
+
+CONFIG = GAConfig(population_size=12, generations=10, elite_count=1, patience=5)
+
+
+def _evaluate_family(graph, evaluator, family: str) -> float:
+    accs = (0, 1, 2, 3)
+    design = design2_systolic()
+    if family == "none":
+        strategies = {n.name: NO_PARALLELISM for n in graph.compute_nodes()}
+        return evaluator.evaluate_set(
+            graph.nodes(), accs, design, strategies
+        ).latency_seconds
+    solution = optimize_set(
+        evaluator, graph.nodes(), accs, design, CONFIG, make_rng(0)
+    )
+    if family == "es_only":
+        # Strip any SS decisions and re-evaluate: the ES-only bound.
+        stripped = {
+            name: ParallelismStrategy(es=s.es, ss=None)
+            for name, s in solution.strategies.items()
+        }
+        return evaluator.evaluate_set(
+            graph.nodes(), accs, design, stripped
+        ).latency_seconds
+    return solution.latency_seconds
+
+
+def bench_es_ss_search(benchmark):
+    graph = build_model("vgg16")
+    evaluator = MappingEvaluator(graph, f1_16xlarge())
+    latency = benchmark.pedantic(
+        _evaluate_family, args=(graph, evaluator, "full"), rounds=1, iterations=1
+    )
+    assert latency > 0
+
+
+def bench_strategy_family_report(benchmark):
+    def build():
+        graph = build_model("vgg16")
+        scenarios = (
+            ("weights resident", EvaluatorOptions(weights_resident=True)),
+            ("weights streamed", EvaluatorOptions(weights_resident=False)),
+        )
+        rows = []
+        for scenario, options in scenarios:
+            evaluator = MappingEvaluator(graph, f1_16xlarge(), options)
+            for family, label in (
+                ("none", "no partitioning"),
+                ("es_only", "ES only"),
+                ("full", "ES + SS"),
+            ):
+                latency = _evaluate_family(graph, evaluator, family)
+                rows.append([scenario, label, f"{latency * 1e3:.2f}"])
+        return format_table(
+            ["Scenario", "Strategy family", "Latency /ms"],
+            rows,
+            title="A2: VGG16 on 4x Design 2, strategy families",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_strategies", text)
+    assert "ES + SS" in text

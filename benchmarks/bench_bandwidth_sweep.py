@@ -1,0 +1,62 @@
+"""A3: sensitivity of the Table III result to intra-group bandwidth.
+
+Sweeps the F1 preset's intra-group link speed and re-runs baseline vs
+MARS on ResNet-34, showing where communication starts to dominate and
+whether the MARS advantage survives at the extremes.
+"""
+
+from repro.accelerators import table2_designs
+from repro.core.baselines import computation_prioritized_mapping
+from repro.core.mapper import Mars
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+from repro.utils.tables import format_table
+
+from _report import emit, quick_budget
+
+SWEEP_GBPS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def bench_mars_at_low_bandwidth(benchmark):
+    graph = build_model("resnet34")
+    topology = f1_16xlarge(intra_group_gbps=1.0)
+
+    def run():
+        return Mars(graph, topology, budget=quick_budget()).search(seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.feasible
+
+
+def bench_bandwidth_sweep_report(benchmark):
+    def build():
+        graph = build_model("resnet34")
+        rows = []
+        for gbps in SWEEP_GBPS:
+            topology = f1_16xlarge(intra_group_gbps=gbps)
+            baseline = computation_prioritized_mapping(
+                graph, topology, table2_designs()
+            )
+            mars = Mars(graph, topology, budget=quick_budget()).search(seed=0)
+            reduction = (
+                (baseline.latency_ms - mars.latency_ms)
+                / baseline.latency_ms
+                * 100.0
+            )
+            rows.append(
+                [
+                    f"{gbps:g}",
+                    f"{baseline.latency_ms:.2f}",
+                    f"{mars.latency_ms:.2f}",
+                    f"-{reduction:.1f}%",
+                ]
+            )
+        return format_table(
+            ["Intra-group Gbps", "Baseline /ms", "MARS /ms", "Reduction"],
+            rows,
+            title="A3: ResNet-34 latency vs intra-group bandwidth",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("bandwidth_sweep", text)
+    assert "Reduction" in text

@@ -1,0 +1,62 @@
+"""E6: Fig. 3 — the two-level GA, measured as a convergence series.
+
+Regenerates the mapping-algorithm behaviour the figure sketches: the
+level-1 best-latency-per-generation series, the number of sub-problems
+solved, and the cache hit pattern.
+"""
+
+from repro.core.mapper import Mars
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+from _report import emit, search_budget
+
+
+def bench_mars_search_vgg16(benchmark):
+    """The complete two-level search on VGG16 (the paper's Fig. 3 flow)."""
+    graph = build_model("vgg16")
+    topology = f1_16xlarge()
+
+    def run():
+        return Mars(graph, topology, budget=search_budget()).search(seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["latency_ms"] = round(result.latency_ms, 3)
+    benchmark.extra_info["level1_evaluations"] = result.ga.evaluations
+
+    series = [
+        f"gen {i:2d}: {value * 1e3:8.3f} ms"
+        for i, value in enumerate(result.convergence)
+    ]
+    text = (
+        "Fig. 3 (two-level GA) convergence on VGG16\n"
+        + "\n".join(series)
+        + f"\n\nbest mapping:\n{result.describe()}"
+    )
+    emit("fig3_ga_convergence", text)
+    history = result.convergence
+    assert all(b <= a + 1e-15 for a, b in zip(history, history[1:]))
+
+
+def bench_level2_subproblem(benchmark):
+    """One second-level GA solve (the unit of work level 1 fans out)."""
+    from repro.accelerators import design2_systolic
+    from repro.core.evaluator import MappingEvaluator
+    from repro.core.ga import optimize_set
+    from repro.utils import make_rng
+
+    graph = build_model("alexnet")
+    evaluator = MappingEvaluator(graph, f1_16xlarge())
+
+    def run():
+        return optimize_set(
+            evaluator,
+            graph.nodes(),
+            (0, 1, 2, 3),
+            design2_systolic(),
+            search_budget().level2,
+            make_rng(0),
+        )
+
+    solution = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert solution.evaluation.feasible

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the GA's inner-loop hot paths.
+
+These run with pytest-benchmark's full statistics (many rounds) — they
+are the performance contract of the search: if set evaluation or cycle
+models regress, every experiment slows down proportionally.
+"""
+
+from repro.accelerators import (
+    cached_conv_cycles,
+    design1_superlip,
+    design2_systolic,
+    design3_winograd,
+)
+from repro.core.evaluator import MappingEvaluator
+from repro.core.sharding import ParallelismStrategy, make_sharding_plan
+from repro.core.strategy_space import longest_dims_strategy
+from repro.dnn import build_model
+from repro.dnn.layers import ConvSpec, LoopDim
+from repro.system import f1_16xlarge
+
+LAYER = ConvSpec(
+    out_channels=512,
+    in_channels=256,
+    out_h=28,
+    out_w=28,
+    kernel_h=3,
+    kernel_w=3,
+)
+
+
+def bench_conv_cycles_superlip(benchmark):
+    design = design1_superlip()
+    cycles = benchmark(design.conv_cycles, LAYER)
+    assert cycles > 0
+
+
+def bench_conv_cycles_systolic(benchmark):
+    design = design2_systolic()
+    cycles = benchmark(design.conv_cycles, LAYER)
+    assert cycles > 0
+
+
+def bench_conv_cycles_winograd(benchmark):
+    design = design3_winograd()
+    cycles = benchmark(design.conv_cycles, LAYER)
+    assert cycles > 0
+
+
+def bench_cached_conv_cycles(benchmark):
+    """The memoized lookup the evaluator actually calls."""
+    design = design2_systolic()
+    cached_conv_cycles(design, LAYER)  # warm the cache
+    cycles = benchmark(cached_conv_cycles, design, LAYER)
+    assert cycles > 0
+
+
+def bench_make_sharding_plan(benchmark):
+    strategy = ParallelismStrategy(es=(LoopDim.H, LoopDim.W))
+    plan = benchmark(make_sharding_plan, LAYER, strategy, 4)
+    assert plan is not None
+
+
+def bench_evaluate_set_vgg16(benchmark):
+    """One full set evaluation — the level-2 GA's fitness call."""
+    graph = build_model("vgg16")
+    evaluator = MappingEvaluator(graph, f1_16xlarge())
+    strategies = {
+        n.name: longest_dims_strategy(n.conv_spec())
+        for n in graph.compute_nodes()
+    }
+    nodes = graph.nodes()
+
+    def run():
+        return evaluator.evaluate_set(
+            nodes, (0, 1, 2, 3), design2_systolic(), strategies
+        )
+
+    result = benchmark(run)
+    assert result.feasible

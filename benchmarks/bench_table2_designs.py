@@ -1,0 +1,33 @@
+"""E1: regenerate Table II (accelerator designs + profiling evidence).
+
+Benchmarks the pre-search profiling pass (the step MARS runs before
+level-1 initialization) and emits the design table.
+"""
+
+from repro.accelerators import profile_designs, table2_designs
+from repro.dnn import build_model
+from repro.experiments import run_table2
+
+from _report import emit
+
+
+def bench_profile_vgg16(benchmark):
+    """Profiling all three designs over VGG16's compute layers."""
+    graph = build_model("vgg16")
+    designs = table2_designs()
+    profile = benchmark(profile_designs, graph, designs)
+    assert len(profile.layers) == 16
+
+
+def bench_profile_resnet101(benchmark):
+    graph = build_model("resnet101")
+    designs = table2_designs()
+    profile = benchmark(profile_designs, graph, designs)
+    assert len(profile.layers) == 105  # 104 convs + FC
+
+
+def bench_table2_report(benchmark):
+    """Full Table II report over the five Table III models."""
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit("table2_designs", result.to_text())
+    assert len(result.design_rows) == 3

@@ -1,0 +1,46 @@
+"""E2: regenerate Table III — baseline vs MARS on the five CNNs.
+
+One benchmark per model row (a full two-level GA search each), plus an
+aggregated report with the mean reduction and the mappings MARS found.
+The paper reports 10.1%-46.6% latency reduction (32.2% mean); the
+reproduced numbers are written to ``benchmarks/reports/table3.txt``.
+"""
+
+import pytest
+
+from repro.dnn.models import TABLE3_MODELS
+from repro.experiments import run_table3
+from repro.experiments.table3 import Table3Result
+
+from _report import emit, search_budget
+
+_rows = Table3Result()
+
+
+@pytest.mark.parametrize("model", TABLE3_MODELS)
+def bench_table3_row(benchmark, model):
+    """Baseline + MARS search for one Table III row."""
+
+    def run():
+        return run_table3(models=(model,), budget=search_budget(), seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = result.rows[0]
+    _rows.rows.append(row)
+    benchmark.extra_info["baseline_ms"] = round(row.baseline_ms, 3)
+    benchmark.extra_info["mars_ms"] = round(row.mars_ms, 3)
+    benchmark.extra_info["reduction_pct"] = round(row.reduction_pct, 1)
+    # The headline claim: MARS improves on the baseline for every model.
+    assert row.mars_ms < row.baseline_ms
+
+
+def bench_table3_report(benchmark):
+    """Aggregate the rows collected above into the Table III report."""
+
+    def aggregate():
+        return _rows.to_text() if _rows.rows else "(no rows collected)"
+
+    text = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    emit("table3", text)
+    assert _rows.rows, "row benches must run before the report"
+    assert _rows.mean_reduction_pct > 10.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Extension tour: multi-DNN serving, throughput search, and traces.
+
+Combines two networks into one workload (Herald's multi-DNN setting),
+searches with the throughput objective (steady-state pipeline interval
+instead of single-input latency), and renders the winning schedule as
+an ASCII Gantt chart plus a ``chrome://tracing`` JSON file.
+
+Usage::
+
+    python examples/multi_dnn_serving.py [--trace-out trace.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import MappingEvaluator
+from repro.core.ga import GAConfig, SearchBudget
+from repro.core.mapper import Mars
+from repro.dnn import build_model
+from repro.dnn.multi import combine_graphs, per_workload_ranges
+from repro.simulator import chrome_trace_json, render_gantt
+from repro.system import f1_16xlarge
+from repro.utils import seconds_to_human
+
+BUDGET = SearchBudget(
+    level1=GAConfig(population_size=10, generations=8, elite_count=1, patience=5),
+    level2=GAConfig(population_size=10, generations=8, elite_count=1, patience=4),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a chrome://tracing JSON file of the final schedule",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # Two independent services on one F1 instance.
+    combined = combine_graphs(
+        [build_model("tiny_cnn"), build_model("tiny_resnet")]
+    )
+    ranges = per_workload_ranges(combined, ["tiny_cnn", "tiny_resnet"])
+    print(f"Combined workload: {combined.summary()}")
+    print(f"Per-network node ranges: {ranges}\n")
+
+    topology = f1_16xlarge()
+    results = {}
+    for objective in ("latency", "throughput"):
+        result = Mars(
+            combined, topology, budget=BUDGET, objective=objective
+        ).search(seed=args.seed)
+        results[objective] = result
+        evaluation = result.evaluation
+        print(f"objective = {objective}:")
+        print(f"  single-pass latency : {evaluation.latency_ms:.3f} ms")
+        print(
+            "  pipeline interval   : "
+            f"{seconds_to_human(evaluation.pipeline_interval_seconds)} "
+            f"({evaluation.pipeline_throughput_per_second:.0f} inferences/s)"
+        )
+        print(f"  mapping:\n    " + result.describe().replace("\n", "\n    "))
+        print()
+
+    # Replay the throughput-optimal schedule and draw it.
+    best = results["throughput"]
+    evaluator = MappingEvaluator(combined, topology)
+    program = evaluator.compile_program(best.mapping)
+    replay = program.replay()
+    print(render_gantt(program, replay, width=56, max_rows=14))
+
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            handle.write(chrome_trace_json(program, replay))
+        print(f"\nwrote {args.trace_out} (open in chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package that
+PEP 517 editable installs require, so ``pip install -e .`` falls back to
+this shim via ``python setup.py develop``. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

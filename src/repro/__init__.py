@@ -1,0 +1,15 @@
+"""MARS reproduction: multi-level parallelism mapping for DNN workloads
+on adaptive multi-accelerator systems (Shen et al., DAC 2023).
+
+Public API tour:
+
+* :mod:`repro.dnn` — workload IR and model zoo.
+* :mod:`repro.accelerators` — analytical accelerator performance models.
+* :mod:`repro.system` — multi-accelerator topologies and presets.
+* :mod:`repro.simulator` — communication/compute latency simulation.
+* :mod:`repro.core` — parallelism strategies, evaluator, two-level GA
+  mapper, and the baselines.
+* :mod:`repro.experiments` — runners that regenerate the paper's tables.
+"""
+
+__version__ = "1.0.0"

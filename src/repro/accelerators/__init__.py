@@ -1,0 +1,55 @@
+"""Analytical accelerator performance models (Table II of the paper).
+
+Three adaptive-system design candidates — a SuperLIP-style tiled
+accelerator, a systolic array, and a Winograd engine — plus the fixed
+heterogeneous catalog used by the H2H comparison (Table IV).
+"""
+
+from repro.accelerators.base import (
+    AcceleratorDesign,
+    cached_conv_cycles,
+    ceil_div,
+)
+from repro.accelerators.extra import (
+    IdealRooflineDesign,
+    RowStationaryDesign,
+    extended_catalog,
+    eyeriss_like,
+    ideal_roofline,
+)
+from repro.accelerators.h2h_designs import h2h_catalog
+from repro.accelerators.profiler import (
+    LayerProfile,
+    WorkloadProfile,
+    profile_designs,
+    profile_layer,
+)
+from repro.accelerators.registry import all_designs, design_by_name, table2_designs
+from repro.accelerators.superlip import SuperLIPDesign, design1_superlip
+from repro.accelerators.systolic import SystolicDesign, design2_systolic
+from repro.accelerators.winograd import WinogradDesign, design3_winograd
+
+__all__ = [
+    "AcceleratorDesign",
+    "IdealRooflineDesign",
+    "LayerProfile",
+    "RowStationaryDesign",
+    "SuperLIPDesign",
+    "SystolicDesign",
+    "WinogradDesign",
+    "WorkloadProfile",
+    "all_designs",
+    "cached_conv_cycles",
+    "ceil_div",
+    "design1_superlip",
+    "design2_systolic",
+    "design3_winograd",
+    "design_by_name",
+    "extended_catalog",
+    "eyeriss_like",
+    "h2h_catalog",
+    "ideal_roofline",
+    "profile_designs",
+    "profile_layer",
+    "table2_designs",
+]

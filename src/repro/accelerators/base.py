@@ -1,0 +1,129 @@
+"""Base class and shared machinery for accelerator performance models.
+
+The paper (Section III) evaluates each accelerator design through an
+*analytical performance model* that maps a convolution loop nest to a
+cycle count. Designs differ in which loop dimensions they parallelize,
+so the same layer can show large performance gaps across designs — the
+heterogeneity MARS exploits.
+
+All models implement :meth:`AcceleratorDesign.conv_cycles`; lightweight
+layers (pool / BN / activation / elementwise) share an element-throughput
+model in :meth:`AcceleratorDesign.layer_seconds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.dnn.graph import LayerNode
+from repro.dnn.layers import ConvSpec
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class AcceleratorDesign:
+    """An accelerator design candidate (one row of Table II).
+
+    Attributes:
+        name: Human-readable identifier used in mapping reports.
+        frequency_hz: Clock frequency; the paper fixes 200 MHz for all
+            designs to keep theoretical throughput comparable.
+        num_pes: Processing-element count as reported in Table II
+            (used for reporting and the element-wise layer model).
+    """
+
+    name: str
+    frequency_hz: float
+    num_pes: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.frequency_hz, "frequency_hz")
+        require_positive(self.num_pes, "num_pes")
+
+    # ------------------------------------------------------------------
+    # Core model: convolution cycles
+    # ------------------------------------------------------------------
+
+    def conv_cycles(self, spec: ConvSpec) -> int:
+        """Cycle count for one convolution workload.
+
+        Grouped convolutions are normalized here: output-channel
+        parallelism still covers all of ``Cout`` (each output channel
+        reads only its group), but input-channel lanes see just the
+        per-group slice — which is why depthwise layers utilize
+        channel-parallel accelerators poorly. Subclasses implement the
+        dense model in :meth:`_dense_cycles`.
+        """
+        if spec.groups == 1:
+            return self._dense_cycles(spec)
+        from dataclasses import replace
+
+        grouped_view = replace(
+            spec, in_channels=spec.in_channels // spec.groups, groups=1
+        )
+        return self._dense_cycles(grouped_view)
+
+    def _dense_cycles(self, spec: ConvSpec) -> int:
+        """Dense (groups = 1) cycle model. Subclasses override."""
+        raise NotImplementedError
+
+    def conv_seconds(self, spec: ConvSpec) -> float:
+        return self.conv_cycles(spec) / self.frequency_hz
+
+    def utilization(self, spec: ConvSpec) -> float:
+        """Achieved MACs/cycle relative to the design's PE count.
+
+        This is the quantity behind the paper's Section VI-B analysis
+        ("the shape of the layer cannot saturate the PEs"). Values are
+        in (0, 1] for well-behaved models but may exceed 1 slightly when
+        the reported PE count differs from the arithmetic peak (e.g.
+        post-synthesis DSP counts).
+        """
+        cycles = self.conv_cycles(spec)
+        if cycles <= 0:
+            return 0.0
+        return spec.macs / (cycles * self.num_pes)
+
+    # ------------------------------------------------------------------
+    # Whole-layer model
+    # ------------------------------------------------------------------
+
+    def layer_cycles(self, node: LayerNode) -> int:
+        """Cycles for any graph layer.
+
+        Conv/FC layers go through the analytical model; other layers use
+        an element-throughput model (one output element per PE per
+        cycle), which keeps them small but non-zero, as in the paper's
+        simulator integration.
+        """
+        if node.is_compute:
+            return self.conv_cycles(node.conv_spec())
+        if node.kind == "inputlayer":
+            return 0
+        numel = node.output_shape.numel
+        return -(-numel // self.num_pes)  # ceil division
+
+    def layer_seconds(self, node: LayerNode) -> float:
+        return self.layer_cycles(node) / self.frequency_hz
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def ceil_div(value: int, divisor: int) -> int:
+    """Ceiling division for loop-tiling math; rejects non-positive divisors."""
+    if divisor <= 0:
+        raise ValueError(f"divisor must be > 0, got {divisor}")
+    return -(-value // divisor)
+
+
+@lru_cache(maxsize=65536)
+def cached_conv_cycles(design: AcceleratorDesign, spec: ConvSpec) -> int:
+    """Memoized conv-cycle lookup.
+
+    The GA inner loop costs the same (design, shard-spec) pair many
+    times; both arguments are frozen dataclasses, hence hashable. A
+    shared cache across designs keeps the memory bound predictable.
+    """
+    return design.conv_cycles(spec)

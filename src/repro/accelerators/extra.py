@@ -1,0 +1,96 @@
+"""Catalog extensions beyond the paper's Table II.
+
+Two additional design archetypes for users exploring their own
+adaptive-system configurations:
+
+* :class:`RowStationaryDesign` — an Eyeriss-inspired row-stationary
+  array: kernel rows map onto PE rows, output rows onto PE diagonals,
+  so throughput *rises* with kernel height (3x3-friendly, 1x1-weak in a
+  different way than Winograd: it wastes the row dimension rather than
+  the transform).
+* :class:`IdealRooflineDesign` — a shape-oblivious design that sustains
+  its peak MACs/cycle on every layer. Useful as an experimental
+  control: with an ideal catalog, design selection is moot and any
+  remaining MARS gains are attributable to parallelism and
+  communication placement alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerators.base import AcceleratorDesign, ceil_div
+from repro.dnn.layers import ConvSpec
+from repro.utils.units import mhz
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class RowStationaryDesign(AcceleratorDesign):
+    """Eyeriss-style row-stationary dataflow.
+
+    Per pass, the array holds ``filters`` output channels on
+    ``array_cols`` output-row diagonals with up to ``array_rows`` kernel
+    rows resolved spatially; input channels, kernel columns and output
+    columns stream temporally.
+    """
+
+    array_rows: int = 12
+    array_cols: int = 14
+    filters: int = 16
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(self.array_rows, "array_rows")
+        require_positive(self.array_cols, "array_cols")
+        require_positive(self.filters, "filters")
+
+    def _dense_cycles(self, spec: ConvSpec) -> int:
+        kernel_passes = ceil_div(spec.kernel_h, self.array_rows)
+        iterations = (
+            ceil_div(spec.out_channels, self.filters)
+            * ceil_div(spec.out_h, self.array_cols)
+            * kernel_passes
+            * spec.in_channels
+            * spec.kernel_w
+            * spec.out_w
+        )
+        # Row-stationary reuse: a filter row is loaded once per pass.
+        fill = self.array_rows + self.array_cols
+        return iterations + fill
+
+
+@dataclass(frozen=True)
+class IdealRooflineDesign(AcceleratorDesign):
+    """A design that always sustains ``num_pes`` MACs per cycle."""
+
+    def _dense_cycles(self, spec: ConvSpec) -> int:
+        return ceil_div(spec.macs, self.num_pes)
+
+
+def eyeriss_like() -> RowStationaryDesign:
+    """A 12x14 row-stationary array at 200 MHz."""
+    return RowStationaryDesign(
+        name="Extra (row-stationary)",
+        frequency_hz=mhz(200),
+        num_pes=504,  # 12 x 14 PEs x 3 effective MACs on 3x3 kernels
+        array_rows=12,
+        array_cols=14,
+        filters=16,
+    )
+
+
+def ideal_roofline(num_pes: int = 512) -> IdealRooflineDesign:
+    """A shape-oblivious control design at 200 MHz."""
+    return IdealRooflineDesign(
+        name=f"Ideal roofline ({num_pes} PEs)",
+        frequency_hz=mhz(200),
+        num_pes=num_pes,
+    )
+
+
+def extended_catalog() -> list[AcceleratorDesign]:
+    """Table II plus the two extension designs."""
+    from repro.accelerators.registry import table2_designs
+
+    return table2_designs() + [eyeriss_like(), ideal_roofline()]

@@ -1,0 +1,90 @@
+"""Fixed heterogeneous accelerator catalog for the H2H comparison.
+
+H2H [7] maps heterogeneous models onto *fixed* heterogeneous
+accelerators; its released performance models are not available, so per
+DESIGN.md we build a four-design catalog in the same spirit: CNN
+accelerators of comparable peak throughput (~400-500 MACs/cycle at
+200 MHz) whose *dataflow preferences* differ — each wins a different
+class of layer shapes, which is exactly what makes computation-aware
+assignment matter. Peaks are kept comparable (no 10x cliffs) because
+MARS's stall-until-slowest rule for mixed sets (Section VI-C) would
+otherwise forbid any multi-accelerator parallelism, for either mapper.
+
+* ``H2H-A`` — balanced tiled design (all-rounder).
+* ``H2H-B`` — output-channel-heavy tiled design (deep 1x1 layers).
+* ``H2H-C`` — input-channel-parallel systolic array (channel-rich
+  mid-network layers; weak on low-channel stems).
+* ``H2H-D`` — spatially tiled design with narrow ``Tn`` (high-resolution
+  early layers, like Design 1 of Table II).
+
+Both mappers in the Table IV experiment see exactly this catalog, so
+the comparison isolates the mapping algorithms, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.superlip import SuperLIPDesign
+from repro.accelerators.systolic import SystolicDesign
+from repro.utils.units import mhz
+
+
+def h2h_design_a() -> SuperLIPDesign:
+    """Balanced tiled design: moderate Cout/Cin parallelism."""
+    return SuperLIPDesign(
+        name="H2H-A (tiled balanced)",
+        frequency_hz=mhz(200),
+        num_pes=384,
+        tm=32,
+        tn=12,
+        tr=7,
+        tc=14,
+    )
+
+
+def h2h_design_b() -> SuperLIPDesign:
+    """Output-channel-heavy tiled design: excels on deep, wide layers."""
+    return SuperLIPDesign(
+        name="H2H-B (tiled wide-Cout)",
+        frequency_hz=mhz(200),
+        num_pes=384,
+        tm=96,
+        tn=4,
+        tr=7,
+        tc=7,
+    )
+
+
+def h2h_design_c() -> SystolicDesign:
+    """Input-channel-parallel systolic array.
+
+    Sixteen rows over ``Cin``: strong once channels are wide, wasteful
+    on 3-channel stems — the lopsidedness H2H's computation-aware
+    assignment exploits.
+    """
+    return SystolicDesign(
+        name="H2H-C (systolic)",
+        frequency_hz=mhz(200),
+        num_pes=512,
+        rows=16,
+        cols=8,
+        vec=8,
+    )
+
+
+def h2h_design_d() -> SuperLIPDesign:
+    """Spatially tiled design with narrow Tn: high-resolution layers."""
+    return SuperLIPDesign(
+        name="H2H-D (tiled spatial)",
+        frequency_hz=mhz(200),
+        num_pes=384,
+        tm=64,
+        tn=6,
+        tr=14,
+        tc=14,
+    )
+
+
+def h2h_catalog() -> list[AcceleratorDesign]:
+    """The four fixed designs used by the Table IV experiment."""
+    return [h2h_design_a(), h2h_design_b(), h2h_design_c(), h2h_design_d()]

@@ -1,0 +1,31 @@
+"""Design registry: Table II defaults and lookup by name."""
+
+from __future__ import annotations
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.h2h_designs import h2h_catalog
+from repro.accelerators.superlip import design1_superlip
+from repro.accelerators.systolic import design2_systolic
+from repro.accelerators.winograd import design3_winograd
+
+
+def table2_designs() -> list[AcceleratorDesign]:
+    """The three adaptive-system design candidates of Table II."""
+    return [design1_superlip(), design2_systolic(), design3_winograd()]
+
+
+def all_designs() -> list[AcceleratorDesign]:
+    """Every named design: Table II plus the H2H fixed catalog."""
+    return table2_designs() + h2h_catalog()
+
+
+def design_by_name(name: str) -> AcceleratorDesign:
+    """Look a design up by its exact name.
+
+    Raises :class:`KeyError` listing the catalog when not found.
+    """
+    for design in all_designs():
+        if design.name == name:
+            return design
+    known = ", ".join(d.name for d in all_designs())
+    raise KeyError(f"unknown design {name!r}; available: {known}")

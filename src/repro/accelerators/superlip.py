@@ -1,0 +1,66 @@
+"""Design 1: SuperLIP-style tiled CNN accelerator (Jiang et al. [14]).
+
+The classic output-stationary tiled dataflow (Zhang et al., FPGA'15
+lineage): the loop nest is tiled with factors ``(Tm, Tn, Tr, Tc)`` over
+``(Cout, Cin, H, W)``; a ``Tm x Tn`` MAC array consumes one ``(Tr, Tc)``
+output tile in ``Tr * Tc * Kh * Kw`` cycles per ``(Tm, Tn)`` tile pair.
+
+Table II parameters: ``Tm, Tn, Tr, Tc = 64, 7, 7, 14`` at 200 MHz with
+438 PEs (the post-synthesis DSP count; the arithmetic peak is
+``Tm * Tn = 448`` MACs/cycle).
+
+Why it wins early CNN layers (paper Section VI-B): the first layers have
+few input channels (``Cin = 3``), and ``Tn = 7`` wastes less of the
+input-channel parallelism than designs that spread wider over ``Cin``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerators.base import AcceleratorDesign, ceil_div
+from repro.dnn.layers import ConvSpec
+from repro.utils.units import mhz
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SuperLIPDesign(AcceleratorDesign):
+    """Tiled accelerator with design parameters ``(Tm, Tn, Tr, Tc)``."""
+
+    tm: int = 64
+    tn: int = 7
+    tr: int = 7
+    tc: int = 14
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(self.tm, "tm")
+        require_positive(self.tn, "tn")
+        require_positive(self.tr, "tr")
+        require_positive(self.tc, "tc")
+
+    def _dense_cycles(self, spec: ConvSpec) -> int:
+        tile_iterations = (
+            ceil_div(spec.out_channels, self.tm)
+            * ceil_div(spec.in_channels, self.tn)
+            * ceil_div(spec.out_h, self.tr)
+            * ceil_div(spec.out_w, self.tc)
+        )
+        cycles_per_tile = self.tr * self.tc * spec.kernel_h * spec.kernel_w
+        # Small fixed overhead per tile for load/drain of the line buffers.
+        overhead_per_tile = self.tr + self.tc
+        return tile_iterations * (cycles_per_tile + overhead_per_tile)
+
+
+def design1_superlip() -> SuperLIPDesign:
+    """Table II row 1: SuperLIP, 200 MHz, 438 PEs, Tm/Tn/Tr/Tc=64/7/7/14."""
+    return SuperLIPDesign(
+        name="Design 1 (SuperLIP)",
+        frequency_hz=mhz(200),
+        num_pes=438,
+        tm=64,
+        tn=7,
+        tr=7,
+        tc=14,
+    )

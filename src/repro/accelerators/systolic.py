@@ -1,0 +1,74 @@
+"""Design 2: systolic-array CNN accelerator (Wei et al., DAC'17 [15]).
+
+A 2-D systolic array of ``row x col`` PEs with ``vec``-wide packed
+operands per PE. We adopt the standard channel-parallel mapping: array
+rows spread over input channels, columns over output channels, and the
+vector lanes process packed output pixels along ``W`` (two packed
+16-bit operands per DSP, so ``vec = 8`` data lanes sustain
+``vec_macs = 4`` MACs/cycle/PE-column-row).
+
+Table II parameters: ``row, col, vec = 11, 13, 8`` at 200 MHz with
+572 PEs (= ``11 * 13 * 4`` effective MAC units).
+
+Behaviour that matters for the mapping study: utilization collapses on
+layers with few input channels (``ceil(3/11)`` wastes 8/11 of the rows
+on the stem layer) but approaches peak on deep layers with wide
+``Cin``/``Cout`` — which is why MARS assigns mid/late network stages to
+this design in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerators.base import AcceleratorDesign, ceil_div
+from repro.dnn.layers import ConvSpec
+from repro.utils.units import mhz
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class SystolicDesign(AcceleratorDesign):
+    """Systolic array with design parameters ``(row, col, vec)``."""
+
+    rows: int = 11
+    cols: int = 13
+    vec: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(self.rows, "rows")
+        require_positive(self.cols, "cols")
+        require_positive(self.vec, "vec")
+        require(self.vec % 2 == 0, f"vec must be even (packed pairs), got {self.vec}")
+
+    @property
+    def vec_macs(self) -> int:
+        """MACs per cycle per array cell: two packed operands per MAC."""
+        return self.vec // 2
+
+    def _dense_cycles(self, spec: ConvSpec) -> int:
+        iterations = (
+            ceil_div(spec.in_channels, self.rows)
+            * ceil_div(spec.out_channels, self.cols)
+            * ceil_div(spec.out_w, self.vec_macs)
+            * spec.out_h
+            * spec.kernel_h
+            * spec.kernel_w
+        )
+        # Pipeline fill/drain: the wavefront crosses the array once per
+        # layer; subsequent tiles stream back-to-back.
+        fill = self.rows + self.cols
+        return iterations + fill
+
+
+def design2_systolic() -> SystolicDesign:
+    """Table II row 2: systolic array, 200 MHz, 572 PEs, row/col/vec=11/13/8."""
+    return SystolicDesign(
+        name="Design 2 (Systolic)",
+        frequency_hz=mhz(200),
+        num_pes=572,
+        rows=11,
+        cols=13,
+        vec=8,
+    )

@@ -1,0 +1,55 @@
+"""MARS core: formulation, parallelism strategies, evaluator, mapper.
+
+The paper's primary contribution. :class:`~repro.core.mapper.Mars` is
+the entry point; the submodules expose each piece for direct use:
+
+* :mod:`repro.core.formulation` — Table I notation.
+* :mod:`repro.core.sharding` — ES/SS shard semantics (Fig. 2).
+* :mod:`repro.core.strategy_space` — the per-layer design space.
+* :mod:`repro.core.evaluator` — the latency oracle.
+* :mod:`repro.core.ga` — the two-level genetic algorithm (Fig. 3).
+* :mod:`repro.core.baselines` — comparison mappers.
+"""
+
+from repro.core.evaluator import (
+    EvaluatorOptions,
+    MappingEvaluation,
+    MappingEvaluator,
+)
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.core.mapper import Mars, MarsResult
+from repro.core.sharding import (
+    NO_PARALLELISM,
+    ParallelismStrategy,
+    ShardingPlan,
+    make_sharding_plan,
+)
+from repro.core.strategy_space import (
+    enumerate_strategies,
+    feasible_strategies,
+    longest_dims_strategy,
+)
+
+__all__ = [
+    "AcceleratorSet",
+    "EvaluatorOptions",
+    "LayerRange",
+    "Mapping",
+    "MappingEvaluation",
+    "MappingEvaluator",
+    "Mars",
+    "MarsResult",
+    "NO_PARALLELISM",
+    "ParallelismStrategy",
+    "SetAssignment",
+    "ShardingPlan",
+    "enumerate_strategies",
+    "feasible_strategies",
+    "longest_dims_strategy",
+    "make_sharding_plan",
+]

@@ -1,0 +1,20 @@
+"""Baseline mappers for the paper's two comparisons.
+
+* :func:`computation_prioritized_mapping` — the Section VI-A baseline
+  (Herald-style computation-prioritized allocation + longest-dims ES).
+* :func:`h2h_mapping` — the H2H-style comp+comm-aware mapper without
+  intra-layer parallelism (Table IV opponent).
+"""
+
+from repro.core.baselines.computation_prioritized import (
+    BaselineResult,
+    computation_prioritized_mapping,
+)
+from repro.core.baselines.h2h import H2HResult, h2h_mapping
+
+__all__ = [
+    "BaselineResult",
+    "H2HResult",
+    "computation_prioritized_mapping",
+    "h2h_mapping",
+]

@@ -1,0 +1,659 @@
+"""Latency evaluation of mappings: compute + collectives + transfers.
+
+This is the fitness oracle of both GA levels. A set of layers mapped to
+an accelerator set with chosen strategies becomes a sequence of costs:
+
+1. *resharding* — aligning a layer's input with the sharding its
+   strategy expects, priced as an intra-set redistribution;
+2. *compute* — per-phase analytical cycles on the shard (fixed-design
+   sets stall until the slowest member finishes, as in Section VI-C);
+3. *halo exchange* — neighbour rows/columns under spatial ES with K>1;
+4. *all-reduce* — partial-sum reduction when ES cuts a reduction dim;
+5. *SS rotations* — (P-1) ring steps between the P phases;
+
+plus, at mapping level, set-to-set boundary transfers and the initial
+host input load. The same cost walk can emit an
+:class:`~repro.simulator.program.ExecutionProgram` so the event-driven
+simulator replays exactly what the analytical path priced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.accelerators.base import AcceleratorDesign, cached_conv_cycles
+from repro.core.formulation import Mapping, SetAssignment
+from repro.core.memory_check import SetMemoryReport, set_memory_report
+from repro.core.sharding import ParallelismStrategy, ShardingPlan, make_sharding_plan
+from repro.dnn.graph import ComputationGraph, LayerNode
+from repro.dnn.layers import LoopDim
+from repro.simulator.analytical import AnalyticalCommModel
+from repro.simulator.program import (
+    CollectiveStep,
+    ComputeStep,
+    ExecutionProgram,
+    HostStep,
+    TransferStep,
+)
+from repro.system.topology import SystemTopology
+from repro.utils.validation import require
+
+#: Latency assigned to strategies with no feasible sharding plan. Large
+#: but finite so the GA can still rank broken genomes.
+INFEASIBLE_SECONDS = 1e6
+
+
+@dataclass(frozen=True)
+class EvaluatorOptions:
+    """Knobs of the cost model.
+
+    Attributes:
+        dtype_bytes: Datum size (16-bit fixed point by default).
+        include_host_input: Charge the initial image load from host
+            memory to the first accelerator set.
+        include_resharding: Charge intra-set redistribution between
+            consecutive layers with mismatched shardings.
+        include_halo: Charge neighbour halo exchanges for spatial ES.
+        memory_spill: Charge a host round-trip for DRAM overflow bytes
+            (and mark the evaluation invalid), instead of rejecting
+            outright — keeps the GA's fitness landscape connected.
+        weights_resident: When True (dedicated-inference scenario, the
+            Table III setting), weights are pre-loaded and only occupy
+            DRAM. When False (cloud-serving scenario, the Table IV /
+            H2H setting), each inference streams every accelerator's
+            weight shards from host memory — sharding then also divides
+            the load traffic, which is where multi-accelerator sets
+            amortize the host bandwidth.
+    """
+
+    dtype_bytes: int = 2
+    include_host_input: bool = True
+    include_resharding: bool = True
+    include_halo: bool = True
+    memory_spill: bool = True
+    weights_resident: bool = True
+
+
+@dataclass
+class LayerCost:
+    """Per-layer latency breakdown, for reports and pattern tests."""
+
+    name: str
+    compute_seconds: float
+    resharding_seconds: float = 0.0
+    allreduce_seconds: float = 0.0
+    rotation_seconds: float = 0.0
+    halo_seconds: float = 0.0
+    plan: ShardingPlan | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds
+            + self.resharding_seconds
+            + self.allreduce_seconds
+            + self.rotation_seconds
+            + self.halo_seconds
+        )
+
+    @property
+    def comm_seconds(self) -> float:
+        return self.total_seconds - self.compute_seconds
+
+
+@dataclass
+class SetEvaluation:
+    """Outcome of evaluating one (LayerSet, AccSet) sub-problem."""
+
+    latency_seconds: float
+    layer_costs: list[LayerCost]
+    memory: SetMemoryReport
+    feasible: bool
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(c.compute_seconds for c in self.layer_costs)
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(c.comm_seconds for c in self.layer_costs)
+
+
+@dataclass
+class MappingEvaluation:
+    """Whole-network latency and its decomposition."""
+
+    latency_seconds: float
+    set_evaluations: list[SetEvaluation]
+    transfer_seconds: float
+    host_input_seconds: float
+    feasible: bool
+    #: Individual boundary-transfer durations (one per crossing edge).
+    transfer_breakdown: list[float] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_seconds * 1e3
+
+    @property
+    def pipeline_interval_seconds(self) -> float:
+        """Steady-state initiation interval when streaming many inputs.
+
+        The paper evaluates single-image latency (sets execute in
+        sequence); with a stream of inputs the sets form a pipeline
+        whose throughput is set by its slowest stage — either one
+        accelerator set or one boundary transfer. This extension metric
+        lets users trade the latency objective for throughput.
+        """
+        stages = [e.latency_seconds for e in self.set_evaluations]
+        stages.extend(self.transfer_breakdown)
+        stages.append(self.host_input_seconds)
+        return max(stages)
+
+    @property
+    def pipeline_throughput_per_second(self) -> float:
+        interval = self.pipeline_interval_seconds
+        return 1.0 / interval if interval > 0 else float("inf")
+
+
+def _map_output_to_input_sharding(
+    sharding: dict[LoopDim, int],
+) -> dict[LoopDim, int]:
+    """Producer output dims -> consumer input dims (COUT feeds CIN)."""
+    mapped = {}
+    for dim, degree in sharding.items():
+        if dim == LoopDim.COUT:
+            mapped[LoopDim.CIN] = degree
+        else:
+            mapped[dim] = degree
+    return mapped
+
+
+def _alignment_fraction(
+    have: dict[LoopDim, int], need: dict[LoopDim, int]
+) -> float:
+    """Estimated locally-available fraction of the needed input slice.
+
+    For each dim, two block partitions of degrees (g_have, g_need)
+    overlap on roughly ``min/max`` of their block sizes; aligned dims
+    contribute 1. The product over dims estimates how much of its
+    needed slice an accelerator already holds.
+    """
+    fraction = 1.0
+    for dim in set(have) | set(need):
+        g_have = have.get(dim, 1)
+        g_need = need.get(dim, 1)
+        if g_have == g_need:
+            continue
+        fraction *= min(g_have, g_need) / max(g_have, g_need)
+    return fraction
+
+
+class MappingEvaluator:
+    """Prices mappings on a system with a fixed workload."""
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology,
+        options: EvaluatorOptions | None = None,
+    ):
+        self.graph = graph
+        self.topology = topology
+        self.options = options or EvaluatorOptions()
+        self.comm = AnalyticalCommModel(topology)
+        self._nodes = graph.nodes()
+        self._index = {node.name: i for i, node in enumerate(self._nodes)}
+
+    # ------------------------------------------------------------------
+    # Per-set evaluation (the level-2 GA fitness)
+    # ------------------------------------------------------------------
+
+    def designs_for(
+        self, accs: tuple[int, ...], design: AcceleratorDesign | None
+    ) -> list[AcceleratorDesign]:
+        """The distinct designs running in a set.
+
+        Adaptive systems use the configured design; fixed systems use
+        each member's own design and stall at the slowest (Section VI-C).
+        """
+        if self.topology.kind == "adaptive":
+            require(design is not None, "adaptive set needs a design")
+            return [design]
+        unique: dict[str, AcceleratorDesign] = {}
+        for acc in accs:
+            fixed = self.topology.design_of(acc)
+            unique[fixed.name] = fixed
+        return list(unique.values())
+
+    def evaluate_set(
+        self,
+        nodes: list[LayerNode],
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+        strategies: dict[str, ParallelismStrategy],
+        entry_sharding: dict[LoopDim, int] | None = None,
+        program: ExecutionProgram | None = None,
+    ) -> SetEvaluation:
+        """Latency of ``nodes`` on ``accs`` under ``strategies``.
+
+        ``entry_sharding`` describes how the set's first input arrives
+        (``None``: already aligned, the boundary transfer paid for it).
+        When ``program`` is given, equivalent steps are appended for
+        event-driven replay.
+        """
+        require(bool(nodes), "cannot evaluate an empty layer set")
+        designs = self.designs_for(accs, design)
+        p = len(accs)
+        dtype = self.options.dtype_bytes
+        # Per-node output sharding; ``None`` marks "aligned with whatever
+        # the consumer needs" (set entries and freshly loaded inputs,
+        # whose distribution cost is charged elsewhere).
+        sharding_state: dict[str, dict[LoopDim, int] | None] = {}
+        costs: list[LayerCost] = []
+        plans: list[ShardingPlan] = []
+        lightweight_bytes: list[int] = []
+        feasible = True
+        member_names = {node.name for node in nodes}
+
+        for node in nodes:
+            upstream = self._entry_state_for(
+                node, sharding_state, member_names, entry_sharding
+            )
+            if node.is_compute:
+                cost, plan = self._compute_layer_cost(
+                    node, accs, designs, strategies, upstream, p, program
+                )
+                if plan is None:
+                    feasible = False
+                else:
+                    plans.append(plan)
+                    sharding_state[node.name] = plan.output_sharding
+                costs.append(cost)
+            else:
+                cost = self._lightweight_layer_cost(node, accs, designs, program)
+                costs.append(cost)
+                if node.kind == "inputlayer":
+                    sharding_state[node.name] = None  # host load is aligned
+                else:
+                    sharding_state[node.name] = self._propagate_state(
+                        node, upstream
+                    )
+                shard_numel = math.ceil(node.output_shape.numel / max(1, p))
+                lightweight_bytes.append(shard_numel * dtype)
+
+        memory = set_memory_report(
+            plans,
+            lightweight_bytes,
+            min(self.topology.accelerator(a).dram_bytes for a in accs),
+        )
+        latency = sum(c.total_seconds for c in costs)
+        if not self.options.weights_resident:
+            load_bytes = sum(p.weight_load_bytes_per_acc for p in plans)
+            if load_bytes > 0:
+                # Every member streams its shard concurrently over its
+                # own host port; the set waits for the slowest.
+                load = max(
+                    self.comm.host_read_seconds(a, load_bytes) for a in accs
+                )
+                latency += load
+                if program is not None:
+                    program.append(
+                        HostStep(
+                            acc=accs[0],
+                            nbytes=load_bytes,
+                            kind="read",
+                            label="weight-stream",
+                        )
+                    )
+        if not memory.fits:
+            feasible = False
+            if self.options.memory_spill:
+                spill = max(
+                    self.comm.host_round_trip_seconds(a, memory.overflow_bytes)
+                    for a in accs
+                )
+                latency += spill
+                if program is not None:
+                    program.append(
+                        HostStep(
+                            acc=accs[0],
+                            nbytes=memory.overflow_bytes,
+                            kind="round_trip",
+                            label="dram-spill",
+                        )
+                    )
+        return SetEvaluation(
+            latency_seconds=latency,
+            layer_costs=costs,
+            memory=memory,
+            feasible=feasible,
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-mapping evaluation (the level-1 GA fitness)
+    # ------------------------------------------------------------------
+
+    def evaluate_mapping(
+        self,
+        mapping: Mapping,
+        program: ExecutionProgram | None = None,
+    ) -> MappingEvaluation:
+        set_evals = []
+        host_seconds = 0.0
+        for assignment in mapping.assignments:
+            nodes = mapping.nodes_of(assignment)
+            if program is not None and self.options.include_host_input:
+                host_seconds += self._charge_host_inputs(
+                    nodes, assignment, program
+                )
+            elif self.options.include_host_input:
+                host_seconds += self._charge_host_inputs(nodes, assignment, None)
+            set_evals.append(
+                self.evaluate_set(
+                    nodes,
+                    assignment.acc_set.accs,
+                    assignment.design,
+                    assignment.strategies,
+                    entry_sharding=None,
+                    program=program,
+                )
+            )
+        transfer_breakdown = self._boundary_transfer_breakdown(mapping, program)
+        transfer_seconds = sum(transfer_breakdown)
+        latency = (
+            sum(e.latency_seconds for e in set_evals)
+            + transfer_seconds
+            + host_seconds
+        )
+        return MappingEvaluation(
+            latency_seconds=latency,
+            set_evaluations=set_evals,
+            transfer_seconds=transfer_seconds,
+            host_input_seconds=host_seconds,
+            feasible=all(e.feasible for e in set_evals),
+            transfer_breakdown=transfer_breakdown,
+        )
+
+    def compile_program(self, mapping: Mapping) -> ExecutionProgram:
+        """Emit the replayable step program for a mapping."""
+        program = ExecutionProgram(self.topology)
+        self.evaluate_mapping(mapping, program=program)
+        return program
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _entry_state_for(
+        self,
+        node: LayerNode,
+        sharding_state: dict[str, dict[LoopDim, int] | None],
+        member_names: set[str],
+        entry_sharding: dict[LoopDim, int] | None,
+    ) -> dict[LoopDim, int] | None:
+        """Sharding of the node's (first) input as seen inside the set.
+
+        ``None`` means aligned: either the boundary transfer already
+        delivered the data in the consumer's preferred layout, or an
+        upstream input layer loaded it that way.
+        """
+        for source in node.inputs:
+            if source in sharding_state:
+                return sharding_state[source]
+            if source not in member_names:
+                return dict(entry_sharding) if entry_sharding else None
+        return dict(entry_sharding) if entry_sharding else None
+
+    def _compute_layer_cost(
+        self,
+        node: LayerNode,
+        accs: tuple[int, ...],
+        designs: list[AcceleratorDesign],
+        strategies: dict[str, ParallelismStrategy],
+        upstream: dict[LoopDim, int] | None,
+        p: int,
+        program: ExecutionProgram | None,
+    ) -> tuple[LayerCost, ShardingPlan | None]:
+        spec = node.conv_spec()
+        strategy = strategies.get(node.name, ParallelismStrategy())
+        plan = make_sharding_plan(spec, strategy, p, self.options.dtype_bytes)
+        if plan is None:
+            return (
+                LayerCost(name=node.name, compute_seconds=INFEASIBLE_SECONDS),
+                None,
+            )
+        compute = (
+            max(
+                cached_conv_cycles(d, plan.phase_spec) / d.frequency_hz
+                for d in designs
+            )
+            * plan.phases
+        )
+        cost = LayerCost(name=node.name, compute_seconds=compute, plan=plan)
+
+        if self.options.include_resharding and upstream is not None:
+            cost.resharding_seconds = self._resharding_seconds(
+                node, plan, upstream, accs, program
+            )
+        if plan.allreduce_group > 1:
+            groups = self._reduction_subgroups(accs, plan.allreduce_group)
+            timed = [
+                (self.comm.allreduce_seconds(g, plan.allreduce_bytes), g)
+                for g in groups
+            ]
+            cost.allreduce_seconds, slowest_group = max(timed, key=lambda t: t[0])
+            if program is not None:
+                # Subgroups reduce concurrently; the program's sequential
+                # step list represents them by the slowest one.
+                program.append(
+                    CollectiveStep(
+                        kind="allreduce",
+                        group=slowest_group,
+                        nbytes=plan.allreduce_bytes,
+                        label=f"{node.name}:allreduce",
+                    )
+                )
+        if plan.phases > 1:
+            step = self.comm.ring_step_seconds(accs, plan.rotation_bytes)
+            cost.rotation_seconds = (plan.phases - 1) * step
+            if program is not None:
+                for _ in range(plan.phases - 1):
+                    program.append(
+                        CollectiveStep(
+                            kind="ring_step",
+                            group=accs,
+                            nbytes=plan.rotation_bytes,
+                            label=f"{node.name}:ss-rotation",
+                        )
+                    )
+        if self.options.include_halo and plan.halo_bytes > 0:
+            cost.halo_seconds = self.comm.ring_step_seconds(
+                accs, plan.halo_bytes
+            )
+            if program is not None:
+                program.append(
+                    CollectiveStep(
+                        kind="ring_step",
+                        group=accs,
+                        nbytes=plan.halo_bytes,
+                        label=f"{node.name}:halo",
+                    )
+                )
+        if program is not None:
+            program.append(
+                ComputeStep(
+                    group=accs,
+                    seconds=compute,
+                    label=f"{node.name}:compute",
+                )
+            )
+        return cost, plan
+
+    def _resharding_seconds(
+        self,
+        node: LayerNode,
+        plan: ShardingPlan,
+        upstream: dict[LoopDim, int],
+        accs: tuple[int, ...],
+        program: ExecutionProgram | None,
+    ) -> float:
+        """Redistribute the producer's output into the layer's input shape."""
+        have = _map_output_to_input_sharding(upstream)
+        need: dict[LoopDim, int] = {}
+        inp = plan.spec.tensors()["input"]
+        for dim, degree in plan.degrees.items():
+            if inp.has_dim(dim):
+                need[dim] = degree
+        if plan.strategy.ss is not None and inp.has_dim(plan.strategy.ss):
+            need[plan.strategy.ss] = plan.parallelism
+        input_bytes = inp.numel * self.options.dtype_bytes
+        needed_per_acc = input_bytes * plan.input_fraction_needed
+        local = _alignment_fraction(have, need)
+        missing_per_acc = needed_per_acc * (1.0 - local)
+        if missing_per_acc <= 0:
+            return 0.0
+        seconds = self.comm.set_to_set_seconds(
+            accs, accs, input_bytes, bytes_per_dst=missing_per_acc
+        )
+        if program is not None:
+            program.append(
+                TransferStep(
+                    src_group=accs,
+                    dst_group=accs,
+                    total_bytes=input_bytes,
+                    bytes_per_dst=missing_per_acc,
+                    label=f"{node.name}:reshard",
+                )
+            )
+        return seconds
+
+    def _lightweight_layer_cost(
+        self,
+        node: LayerNode,
+        accs: tuple[int, ...],
+        designs: list[AcceleratorDesign],
+        program: ExecutionProgram | None,
+    ) -> LayerCost:
+        numel = node.output_shape.numel if node.kind != "inputlayer" else 0
+        shard_numel = math.ceil(numel / len(accs))
+        seconds = max(
+            math.ceil(shard_numel / d.num_pes) / d.frequency_hz for d in designs
+        )
+        if program is not None and seconds > 0:
+            program.append(
+                ComputeStep(group=accs, seconds=seconds, label=node.name)
+            )
+        return LayerCost(name=node.name, compute_seconds=seconds)
+
+    def _propagate_state(
+        self, node: LayerNode, upstream: dict[LoopDim, int] | None
+    ) -> dict[LoopDim, int] | None:
+        """Sharding state through non-compute layers."""
+        if upstream is None:
+            return None  # aligned data stays aligned through elementwise ops
+        state = dict(upstream)
+        if node.kind == "concat":
+            # Channel concatenation interleaves producers' channel
+            # shards; only spatial sharding survives.
+            state.pop(LoopDim.COUT, None)
+        # Clamp spatial degrees to the (possibly pooled) output extent.
+        for dim, extent in (
+            (LoopDim.H, node.output_shape.height),
+            (LoopDim.W, node.output_shape.width),
+        ):
+            if dim in state and state[dim] > extent:
+                state[dim] = extent
+        return state
+
+    def _reduction_subgroups(
+        self, accs: tuple[int, ...], group_size: int
+    ) -> list[tuple[int, ...]]:
+        """Contiguous blocks of accelerators that all-reduce together."""
+        if group_size >= len(accs):
+            return [accs]
+        return [
+            tuple(accs[i : i + group_size])
+            for i in range(0, len(accs), group_size)
+        ]
+
+    def _charge_host_inputs(
+        self,
+        nodes: list[LayerNode],
+        assignment: SetAssignment,
+        program: ExecutionProgram | None,
+    ) -> float:
+        """Initial image load from host memory for graph input layers."""
+        seconds = 0.0
+        for node in nodes:
+            if node.kind != "inputlayer":
+                continue
+            nbytes = node.output_shape.nbytes(self.options.dtype_bytes)
+            per_acc = nbytes / assignment.acc_set.size
+            acc = assignment.acc_set.accs[0]
+            seconds += self.comm.host_read_seconds(acc, per_acc)
+            if program is not None:
+                program.append(
+                    HostStep(
+                        acc=acc,
+                        nbytes=per_acc,
+                        kind="read",
+                        label=f"{node.name}:host-input",
+                    )
+                )
+        return seconds
+
+    def _boundary_transfer_breakdown(
+        self, mapping: Mapping, program: ExecutionProgram | None
+    ) -> list[float]:
+        """Set-to-set transfer times, one per graph edge crossing sets."""
+        breakdown = []
+        nodes = self.graph.nodes()
+        position = self._index
+        for src, dst in mapping.boundary_edges():
+            src_assign = mapping.assignment_of(position[src])
+            dst_assign = mapping.assignment_of(position[dst])
+            total = nodes[position[src]].output_shape.nbytes(
+                self.options.dtype_bytes
+            )
+            fraction = self._consumer_fraction(mapping, dst_assign)
+            bytes_per_dst = total * fraction
+            breakdown.append(
+                self.comm.set_to_set_seconds(
+                    src_assign.acc_set.accs,
+                    dst_assign.acc_set.accs,
+                    total,
+                    bytes_per_dst=bytes_per_dst,
+                )
+            )
+            if program is not None:
+                program.append(
+                    TransferStep(
+                        src_group=src_assign.acc_set.accs,
+                        dst_group=dst_assign.acc_set.accs,
+                        total_bytes=total,
+                        bytes_per_dst=bytes_per_dst,
+                        label=f"{src}->{dst}:boundary",
+                    )
+                )
+        return breakdown
+
+    def _consumer_fraction(
+        self, mapping: Mapping, assignment: SetAssignment
+    ) -> float:
+        """Input fraction each consumer accelerator needs at set entry."""
+        p = assignment.acc_set.size
+        for node in mapping.nodes_of(assignment):
+            if not node.is_compute:
+                continue
+            strategy = assignment.strategies.get(node.name)
+            if strategy is None:
+                break
+            plan = make_sharding_plan(
+                node.conv_spec(), strategy, p, self.options.dtype_bytes
+            )
+            if plan is not None:
+                return plan.input_fraction_needed
+            break
+        return 1.0 / p

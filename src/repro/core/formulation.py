@@ -1,0 +1,183 @@
+"""The system formulation of Section III (Table I) as typed objects.
+
+``AccSet`` / ``LayerSet`` / ``Config`` / ``Map`` become
+:class:`AcceleratorSet`, :class:`LayerRange` and :class:`SetAssignment`;
+a complete mapping decision is a :class:`Mapping`, whose
+:meth:`Mapping.describe` renders rows in the style of Table III
+(``Conv1-2 -> 4 x Design 1; Conv1: ES = {H, W}, SS = (empty)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.core.sharding import ParallelismStrategy
+from repro.dnn.graph import ComputationGraph, LayerNode
+from repro.system.topology import SystemTopology
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class AcceleratorSet:
+    """A set of accelerators configured with the same design (``AccSet``)."""
+
+    accs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require(bool(self.accs), "accelerator set cannot be empty")
+        require(
+            tuple(sorted(set(self.accs))) == self.accs,
+            f"accelerator ids must be sorted and unique, got {self.accs}",
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.accs)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(f"Acc{a}" for a in self.accs) + "}"
+
+
+@dataclass(frozen=True)
+class LayerRange:
+    """A contiguous run of node indices in the flattened topological order.
+
+    The heuristic of Section V: "each accelerator set is only mapped
+    with a continuous series of layers in topology order".
+    """
+
+    start: int
+    stop: int  # exclusive
+
+    def __post_init__(self) -> None:
+        require(
+            0 <= self.start < self.stop,
+            f"invalid layer range [{self.start}, {self.stop})",
+        )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+
+@dataclass
+class SetAssignment:
+    """One row of the mapping: ``Map[LayerSet_i] = AccSet_i`` plus the
+    chosen design and per-layer parallelism strategies."""
+
+    layer_range: LayerRange
+    acc_set: AcceleratorSet
+    design: AcceleratorDesign | None  # None on fixed-design systems
+    strategies: dict[str, ParallelismStrategy] = field(default_factory=dict)
+
+    def strategy_for(self, layer_name: str) -> ParallelismStrategy:
+        return self.strategies.get(layer_name, ParallelismStrategy())
+
+
+@dataclass
+class Mapping:
+    """A complete mapping decision for one workload on one system."""
+
+    graph: ComputationGraph
+    topology: SystemTopology
+    assignments: list[SetAssignment]
+
+    def __post_init__(self) -> None:
+        require(bool(self.assignments), "mapping has no assignments")
+        order = self.graph.topological_order()
+        expected = 0
+        used_accs: set[int] = set()
+        for assignment in self.assignments:
+            rng = assignment.layer_range
+            require(
+                rng.start == expected,
+                f"layer ranges must tile the graph contiguously; expected "
+                f"start {expected}, got {rng.start}",
+            )
+            expected = rng.stop
+            overlap = used_accs.intersection(assignment.acc_set.accs)
+            require(
+                not overlap,
+                f"accelerators {sorted(overlap)} appear in multiple sets",
+            )
+            used_accs.update(assignment.acc_set.accs)
+            if self.topology.kind == "adaptive":
+                require(
+                    assignment.design is not None,
+                    "adaptive systems need a design per accelerator set",
+                )
+        require(
+            expected == len(order),
+            f"layer ranges cover {expected} of {len(order)} nodes",
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def assignment_of(self, node_index: int) -> SetAssignment:
+        for assignment in self.assignments:
+            if node_index in assignment.layer_range:
+                return assignment
+        raise IndexError(f"node index {node_index} not covered by mapping")
+
+    def nodes_of(self, assignment: SetAssignment) -> list[LayerNode]:
+        nodes = self.graph.nodes()
+        return [nodes[i] for i in assignment.layer_range.indices()]
+
+    def boundary_edges(self) -> list[tuple[str, str]]:
+        """Graph edges whose endpoints live in different accelerator sets."""
+        order = self.graph.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        crossings = []
+        for src, dst in self.graph.edges():
+            src_set = self.assignment_of(position[src])
+            dst_set = self.assignment_of(position[dst])
+            if src_set is not dst_set:
+                crossings.append((src, dst))
+        return crossings
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def describe(self, max_strategies_per_set: int = 1) -> str:
+        """Table III-style mapping summary."""
+        lines = []
+        nodes = self.graph.nodes()
+        for assignment in self.assignments:
+            convs = [
+                nodes[i]
+                for i in assignment.layer_range.indices()
+                if nodes[i].is_compute
+            ]
+            if not convs:
+                continue
+            span = (
+                f"{convs[0].name}-{convs[-1].name}"
+                if len(convs) > 1
+                else convs[0].name
+            )
+            if assignment.design is not None:
+                target = f"{assignment.acc_set.size}x{assignment.design.name}"
+            else:
+                names = {
+                    self.topology.design_of(a).name
+                    for a in assignment.acc_set.accs
+                }
+                target = f"{assignment.acc_set.size}x[{', '.join(sorted(names))}]"
+            line = f"{span} -> {target}"
+            shown = 0
+            for node in convs:
+                if node.name in assignment.strategies and shown < max_strategies_per_set:
+                    strategy = assignment.strategies[node.name]
+                    line += f"; {node.name}: {strategy.describe()}"
+                    shown += 1
+            lines.append(line)
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Two-level genetic algorithm (Fig. 3 of the paper)."""
+
+from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
+from repro.core.ga.heuristics import (
+    candidate_partitions,
+    design_gene_seed,
+    edge_removal_partitions,
+)
+from repro.core.ga.level1 import Level1Search, SearchBudget
+from repro.core.ga.level2 import (
+    GENES_PER_LAYER,
+    SetSolution,
+    decode_layer_strategy,
+    optimize_set,
+)
+
+__all__ = [
+    "GAConfig",
+    "GAResult",
+    "GENES_PER_LAYER",
+    "GeneticAlgorithm",
+    "Level1Search",
+    "SearchBudget",
+    "SetSolution",
+    "candidate_partitions",
+    "decode_layer_strategy",
+    "design_gene_seed",
+    "edge_removal_partitions",
+    "optimize_set",
+]

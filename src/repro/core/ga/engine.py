@@ -1,0 +1,167 @@
+"""Generic real-valued genetic algorithm (minimization).
+
+Both GA levels of MARS (Fig. 3) share this engine: genomes are vectors
+in [0, 1]^n, decoded by the level-specific code. The engine provides
+tournament selection, uniform crossover, Gaussian mutation, elitism and
+stagnation-based early stopping — all driven by an explicit RNG so runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of one GA level."""
+
+    population_size: int = 24
+    generations: int = 30
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.15
+    mutation_sigma: float = 0.25
+    tournament_size: int = 3
+    elite_count: int = 2
+    patience: int = 10  # stop after this many stagnant generations
+
+    def __post_init__(self) -> None:
+        require_positive(self.population_size, "population_size")
+        require_positive(self.generations, "generations")
+        require(
+            0.0 <= self.crossover_rate <= 1.0,
+            f"crossover_rate must be in [0, 1], got {self.crossover_rate}",
+        )
+        require(
+            0.0 <= self.mutation_rate <= 1.0,
+            f"mutation_rate must be in [0, 1], got {self.mutation_rate}",
+        )
+        require_positive(self.mutation_sigma, "mutation_sigma")
+        require(
+            1 <= self.tournament_size <= self.population_size,
+            "tournament_size must be in [1, population_size]",
+        )
+        require(
+            0 <= self.elite_count < self.population_size,
+            "elite_count must be in [0, population_size)",
+        )
+        require_positive(self.patience, "patience")
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run."""
+
+    best_genome: np.ndarray
+    best_fitness: float
+    history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+    generations_run: int = 0
+
+
+class GeneticAlgorithm:
+    """Minimizes ``fitness(genome)`` over [0, 1]^genome_length."""
+
+    def __init__(
+        self,
+        genome_length: int,
+        fitness: Callable[[np.ndarray], float],
+        config: GAConfig,
+        rng: np.random.Generator,
+        seeds: list[np.ndarray] | None = None,
+    ):
+        require_positive(genome_length, "genome_length")
+        self.genome_length = genome_length
+        self.fitness = fitness
+        self.config = config
+        self.rng = rng
+        self.seeds = seeds or []
+        for seed in self.seeds:
+            require(
+                len(seed) == genome_length,
+                f"seed genome has length {len(seed)}, expected {genome_length}",
+            )
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def _initial_population(self) -> np.ndarray:
+        pop = self.rng.random((self.config.population_size, self.genome_length))
+        for i, seed in enumerate(self.seeds[: self.config.population_size]):
+            pop[i] = np.clip(np.asarray(seed, dtype=float), 0.0, 1.0)
+        return pop
+
+    def _tournament(self, fitnesses: np.ndarray) -> int:
+        contenders = self.rng.integers(
+            0, len(fitnesses), size=self.config.tournament_size
+        )
+        return int(contenders[np.argmin(fitnesses[contenders])])
+
+    def _crossover(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.rng.random() >= self.config.crossover_rate:
+            return a.copy()
+        mask = self.rng.random(self.genome_length) < 0.5
+        child = np.where(mask, a, b)
+        return child
+
+    def _mutate(self, genome: np.ndarray) -> np.ndarray:
+        mask = self.rng.random(self.genome_length) < self.config.mutation_rate
+        noise = self.rng.normal(0.0, self.config.mutation_sigma, self.genome_length)
+        mutated = genome + mask * noise
+        return np.clip(mutated, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> GAResult:
+        population = self._initial_population()
+        fitnesses = np.array([self.fitness(g) for g in population])
+        evaluations = len(population)
+        best_index = int(np.argmin(fitnesses))
+        best_genome = population[best_index].copy()
+        best_fitness = float(fitnesses[best_index])
+        history = [best_fitness]
+        stagnant = 0
+        generations_run = 0
+
+        for _ in range(self.config.generations):
+            generations_run += 1
+            elite_order = np.argsort(fitnesses)
+            next_population = [
+                population[i].copy()
+                for i in elite_order[: self.config.elite_count]
+            ]
+            while len(next_population) < self.config.population_size:
+                parent_a = population[self._tournament(fitnesses)]
+                parent_b = population[self._tournament(fitnesses)]
+                child = self._mutate(self._crossover(parent_a, parent_b))
+                next_population.append(child)
+            population = np.array(next_population)
+            fitnesses = np.array([self.fitness(g) for g in population])
+            evaluations += len(population)
+
+            generation_best = int(np.argmin(fitnesses))
+            if fitnesses[generation_best] < best_fitness - 1e-15:
+                best_fitness = float(fitnesses[generation_best])
+                best_genome = population[generation_best].copy()
+                stagnant = 0
+            else:
+                stagnant += 1
+            history.append(best_fitness)
+            if stagnant >= self.config.patience:
+                break
+
+        return GAResult(
+            best_genome=best_genome,
+            best_fitness=best_fitness,
+            history=history,
+            evaluations=evaluations,
+            generations_run=generations_run,
+        )

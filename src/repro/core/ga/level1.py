@@ -1,0 +1,354 @@
+"""First-level GA: accelerator sets, designs, workload allocation (Fig. 3).
+
+The level-1 genome decodes into
+
+1. one **partition** of the accelerators from the heuristic candidate
+   catalog (edge-removal components, Section V),
+2. a **design** per accelerator set (adaptive systems only; gene blocks
+   initialized from profiled performance), and
+3. **cut points** allocating contiguous layer ranges to the sets.
+
+Each decoded individual spawns second-level sub-problems — memoized
+across the whole run, since different level-1 individuals frequently
+share (layer-range, accelerator-set, design) triples — and its fitness
+is the full-mapping latency including inter-set transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.profiler import profile_designs
+from repro.core.evaluator import MappingEvaluator, MappingEvaluation
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
+from repro.core.ga.heuristics import (
+    Partition,
+    candidate_partitions,
+    design_gene_seed,
+)
+from repro.core.ga.level2 import SetSolution, optimize_set
+from repro.dnn.graph import ComputationGraph
+from repro.system.topology import SystemTopology
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import require
+
+
+@dataclass
+class SearchBudget:
+    """GA budgets for both levels."""
+
+    level1: GAConfig
+    level2: GAConfig
+
+    @staticmethod
+    def fast() -> "SearchBudget":
+        """Small budget for tests and quick exploration."""
+        return SearchBudget(
+            level1=GAConfig(
+                population_size=8,
+                generations=6,
+                elite_count=1,
+                patience=4,
+            ),
+            level2=GAConfig(
+                population_size=10,
+                generations=8,
+                elite_count=1,
+                patience=4,
+            ),
+        )
+
+    @staticmethod
+    def paper() -> "SearchBudget":
+        """Budget sized for the Table III / IV experiments."""
+        return SearchBudget(
+            level1=GAConfig(
+                population_size=16,
+                generations=20,
+                elite_count=2,
+                patience=8,
+            ),
+            level2=GAConfig(
+                population_size=16,
+                generations=14,
+                elite_count=2,
+                patience=6,
+            ),
+        )
+
+
+@dataclass
+class DecodedIndividual:
+    """A decoded level-1 genome, before level-2 optimization."""
+
+    partition: Partition
+    used_sets: list[tuple[int, ...]]
+    designs: list[AcceleratorDesign | None]
+    ranges: list[LayerRange]
+
+
+@dataclass
+class Level1Search:
+    """Drives the two-level search for one workload on one system.
+
+    ``objective`` selects what the outer GA minimizes:
+
+    * ``"latency"`` — single-input end-to-end latency (the paper's
+      objective);
+    * ``"throughput"`` — the steady-state pipeline initiation interval
+      when streaming many inputs (extension; favours balanced multi-set
+      pipelines over one big set).
+    """
+
+    graph: ComputationGraph
+    topology: SystemTopology
+    designs: list[AcceleratorDesign]
+    evaluator: MappingEvaluator
+    budget: SearchBudget
+    rng: np.random.Generator
+    objective: str = "latency"
+    solution_cache: dict[tuple, SetSolution] = field(default_factory=dict)
+    _fitness_cache: dict[tuple, float] = field(default_factory=dict)
+    level2_rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        require(
+            self.topology.kind == "fixed" or bool(self.designs),
+            "adaptive systems need a non-empty design catalog",
+        )
+        require(
+            self.objective in ("latency", "throughput"),
+            f"objective must be 'latency' or 'throughput', got {self.objective!r}",
+        )
+        self.partitions = candidate_partitions(self.topology)
+        self.max_sets = max(len(p) for p in self.partitions)
+        self._compute_positions = [
+            i
+            for i, node in enumerate(self.graph.nodes())
+            if node.is_compute
+        ]
+        if self.level2_rng is None:
+            self.level2_rng = spawn_rngs(self.rng, 1)[0]
+
+    # ------------------------------------------------------------------
+    # Genome layout
+    # ------------------------------------------------------------------
+
+    @property
+    def genome_length(self) -> int:
+        partition_genes = len(self.partitions)
+        design_genes = (
+            self.max_sets * len(self.designs)
+            if self.topology.kind == "adaptive"
+            else 0
+        )
+        cut_genes = max(self.max_sets - 1, 0)
+        return partition_genes + design_genes + cut_genes
+
+    def _split_genome(
+        self, genome: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        p = len(self.partitions)
+        d = (
+            self.max_sets * len(self.designs)
+            if self.topology.kind == "adaptive"
+            else 0
+        )
+        return genome[:p], genome[p : p + d], genome[p + d :]
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+
+    def decode(self, genome: np.ndarray) -> DecodedIndividual:
+        partition_genes, design_genes, cut_genes = self._split_genome(genome)
+        partition = self.partitions[int(np.argmax(partition_genes))]
+        sets = list(partition)
+        num_sets = len(sets)
+
+        designs: list[AcceleratorDesign | None]
+        if self.topology.kind == "adaptive":
+            designs = []
+            n_designs = len(self.designs)
+            for slot in range(num_sets):
+                block = design_genes[
+                    slot * n_designs : (slot + 1) * n_designs
+                ]
+                designs.append(self.designs[int(np.argmax(block))])
+        else:
+            designs = [None] * num_sets
+
+        ranges = self._cut_ranges(cut_genes, num_sets)
+        used_sets, used_designs, used_ranges = [], [], []
+        for acc_set, design, rng in zip(sets, designs, ranges):
+            if rng is not None:
+                used_sets.append(acc_set)
+                used_designs.append(design)
+                used_ranges.append(rng)
+        return DecodedIndividual(
+            partition=partition,
+            used_sets=used_sets,
+            designs=used_designs,
+            ranges=used_ranges,
+        )
+
+    def _cut_ranges(
+        self, cut_genes: np.ndarray, num_sets: int
+    ) -> list[LayerRange | None]:
+        """Allocate contiguous node ranges to ``num_sets`` sets.
+
+        Cut genes are fractions over the compute layers; a cut before
+        compute layer ``k`` places the boundary at that layer's node
+        index, so prologue layers (input/BN/activations) travel with
+        their convolution.
+        """
+        total_nodes = len(self.graph)
+        positions = self._compute_positions
+        if num_sets == 1:
+            return [LayerRange(0, total_nodes)]
+        fractions = np.sort(cut_genes[: num_sets - 1])
+        cut_nodes = []
+        for fraction in fractions:
+            k = int(round(fraction * len(positions)))
+            k = min(max(k, 0), len(positions) - 1)
+            cut_nodes.append(positions[k] if k > 0 else 0)
+        boundaries = [0, *cut_nodes, total_nodes]
+        ranges: list[LayerRange | None] = []
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            ranges.append(LayerRange(start, stop) if stop > start else None)
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Fitness
+    # ------------------------------------------------------------------
+
+    def solve_subproblem(
+        self,
+        layer_range: LayerRange,
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+    ) -> SetSolution:
+        key = (
+            layer_range.start,
+            layer_range.stop,
+            accs,
+            design.name if design else "<fixed>",
+        )
+        cached = self.solution_cache.get(key)
+        if cached is not None:
+            return cached
+        nodes = [self.graph.nodes()[i] for i in layer_range.indices()]
+        solution = optimize_set(
+            self.evaluator,
+            nodes,
+            accs,
+            design,
+            self.budget.level2,
+            self.level2_rng,
+        )
+        self.solution_cache[key] = solution
+        return solution
+
+    def build_mapping(self, decoded: DecodedIndividual) -> Mapping:
+        assignments = []
+        for acc_set, design, layer_range in zip(
+            decoded.used_sets, decoded.designs, decoded.ranges
+        ):
+            solution = self.solve_subproblem(layer_range, acc_set, design)
+            assignments.append(
+                SetAssignment(
+                    layer_range=layer_range,
+                    acc_set=AcceleratorSet(acc_set),
+                    design=design,
+                    strategies=solution.strategies,
+                )
+            )
+        return Mapping(
+            graph=self.graph, topology=self.topology, assignments=assignments
+        )
+
+    def fitness(self, genome: np.ndarray) -> float:
+        decoded = self.decode(genome)
+        key = self._decode_key(decoded)
+        cached = self._fitness_cache.get(key)
+        if cached is not None:
+            return cached
+        mapping = self.build_mapping(decoded)
+        evaluation = self.evaluator.evaluate_mapping(mapping)
+        if self.objective == "throughput":
+            value = evaluation.pipeline_interval_seconds
+        else:
+            value = evaluation.latency_seconds
+        self._fitness_cache[key] = value
+        return value
+
+    def _decode_key(self, decoded: DecodedIndividual) -> tuple:
+        return (
+            tuple(decoded.used_sets),
+            tuple(d.name if d else "<fixed>" for d in decoded.designs),
+            tuple((r.start, r.stop) for r in decoded.ranges),
+        )
+
+    # ------------------------------------------------------------------
+    # Seeds
+    # ------------------------------------------------------------------
+
+    def seed_genomes(self) -> list[np.ndarray]:
+        """Heuristic level-1 individuals.
+
+        One seed per partition candidate, with design genes initialized
+        from the profiled normalized performance (Section V) and evenly
+        spread cuts.
+        """
+        seeds = []
+        design_seed: list[float] = []
+        if self.topology.kind == "adaptive":
+            profile = profile_designs(self.graph, self.designs)
+            design_seed = design_gene_seed(
+                profile, [d.name for d in self.designs]
+            )
+        for index, partition in enumerate(self.partitions):
+            genome = np.zeros(self.genome_length)
+            partition_genes, design_genes, cut_genes = self._split_genome(genome)
+            partition_genes[index] = 1.0
+            if self.topology.kind == "adaptive":
+                for slot in range(self.max_sets):
+                    block = slice(
+                        slot * len(self.designs),
+                        (slot + 1) * len(self.designs),
+                    )
+                    design_genes[block] = design_seed
+            count = len(partition)
+            if count > 1:
+                cut_genes[: count - 1] = np.linspace(
+                    1.0 / count, (count - 1.0) / count, count - 1
+                )
+            seeds.append(genome)
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> tuple[Mapping, MappingEvaluation, GAResult]:
+        ga = GeneticAlgorithm(
+            genome_length=self.genome_length,
+            fitness=self.fitness,
+            config=self.budget.level1,
+            rng=self.rng,
+            seeds=self.seed_genomes(),
+        )
+        result = ga.run()
+        decoded = self.decode(result.best_genome)
+        mapping = self.build_mapping(decoded)
+        evaluation = self.evaluator.evaluate_mapping(mapping)
+        return mapping, evaluation, result

@@ -1,0 +1,236 @@
+"""Second-level GA: per-layer parallelism strategies (Fig. 3, green/blue).
+
+Given one sub-problem — a layer set mapped to an accelerator set with a
+fixed design — this level searches each layer's (ES, SS) annotation.
+Following Section V, each layer owns genes that *prioritize* dimensions:
+the decode picks the top-priority dims for ES and (optionally) SS,
+falling back to coarser strategies when a choice is infeasible for the
+layer's shape.
+
+Genome layout per compute layer (14 genes):
+
+====================  ======================================
+``[0]``               ES dim count selector (0, 1 or 2 dims)
+``[1:7]``             ES priority per canonical loop dim
+``[7]``               SS enable
+``[8:14]``            SS priority per canonical loop dim
+====================  ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.core.evaluator import MappingEvaluator, SetEvaluation
+from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
+from repro.core.sharding import (
+    NO_PARALLELISM,
+    ParallelismStrategy,
+    make_sharding_plan,
+)
+from repro.core.strategy_space import longest_dims_strategy
+from repro.dnn.graph import LayerNode
+from repro.dnn.layers import LOOP_DIMS, LoopDim
+
+GENES_PER_LAYER = 14
+
+
+@dataclass
+class SetSolution:
+    """Best strategies found for one (LayerSet, AccSet, design)."""
+
+    strategies: dict[str, ParallelismStrategy]
+    latency_seconds: float
+    evaluation: SetEvaluation
+    ga: GAResult | None = None
+
+
+def decode_layer_strategy(
+    genes: np.ndarray,
+    node: LayerNode,
+    parallelism: int,
+    dtype_bytes: int = 2,
+) -> ParallelismStrategy:
+    """Decode one layer's 14 genes into a feasible strategy.
+
+    Dim priorities order the candidates; the ES count is lowered until a
+    feasible plan exists (every layer admits the replicated fallback).
+    """
+    if parallelism == 1:
+        return NO_PARALLELISM
+    spec = node.conv_spec()
+    extents = spec.loop_extents()
+    es_count = min(int(genes[0] * 3), 2)
+    es_order = [
+        LOOP_DIMS[i]
+        for i in np.argsort(-genes[1:7], kind="stable")
+        if extents[LOOP_DIMS[i]] >= 2
+    ]
+    ss_enabled = genes[7] > 0.5
+    ss_order = [
+        LOOP_DIMS[i]
+        for i in np.argsort(-genes[8:14], kind="stable")
+        if extents[LOOP_DIMS[i]] >= parallelism
+    ]
+
+    for count in range(es_count, -1, -1):
+        es = tuple(sorted(es_order[:count], key=LOOP_DIMS.index))
+        ss = None
+        if ss_enabled:
+            ss = next((d for d in ss_order if d not in es), None)
+        strategy = ParallelismStrategy(es=es, ss=ss)
+        if make_sharding_plan(spec, strategy, parallelism, dtype_bytes) is not None:
+            return strategy
+        # Retry without SS before dropping an ES dim.
+        if ss is not None:
+            strategy = ParallelismStrategy(es=es, ss=None)
+            if make_sharding_plan(spec, strategy, parallelism, dtype_bytes) is not None:
+                return strategy
+    return NO_PARALLELISM
+
+
+#: Strategy motifs priced by the greedy seed: the Table III patterns
+#: (spatial early / channel late) plus SS variants for the scenarios
+#: where shared shards pay off (weight streaming, tight DRAM).
+SHORTLIST: tuple[ParallelismStrategy, ...] = (
+    ParallelismStrategy(es=(LoopDim.H, LoopDim.W)),
+    ParallelismStrategy(es=(LoopDim.H,)),
+    ParallelismStrategy(es=(LoopDim.W,)),
+    ParallelismStrategy(es=(LoopDim.COUT,)),
+    ParallelismStrategy(es=(LoopDim.COUT, LoopDim.CIN)),
+    ParallelismStrategy(es=(LoopDim.COUT, LoopDim.H)),
+    ParallelismStrategy(es=(LoopDim.CIN, LoopDim.W)),
+    ParallelismStrategy(es=(LoopDim.CIN, LoopDim.H)),
+    ParallelismStrategy(es=(LoopDim.H,), ss=LoopDim.COUT),
+    ParallelismStrategy(es=(LoopDim.W,), ss=LoopDim.COUT),
+    ParallelismStrategy(es=(LoopDim.COUT,), ss=LoopDim.H),
+    ParallelismStrategy(es=(LoopDim.COUT, LoopDim.H), ss=LoopDim.CIN),
+)
+
+
+def greedy_strategies(
+    evaluator: MappingEvaluator,
+    compute_nodes: list[LayerNode],
+    accs: tuple[int, ...],
+    design: AcceleratorDesign | None,
+) -> dict[str, ParallelismStrategy]:
+    """Per-layer argmin over the strategy shortlist, priced standalone.
+
+    Ignores inter-layer resharding (the GA refines that), but includes
+    compute, collectives, rotations and — in the streaming scenario —
+    weight loads, so it lands close to the per-layer optimum.
+    """
+    result = {}
+    for node in compute_nodes:
+        best: tuple[float, int] | None = None
+        best_strategy = NO_PARALLELISM
+        for index, strategy in enumerate(SHORTLIST):
+            evaluation = evaluator.evaluate_set(
+                [node], accs, design, {node.name: strategy}
+            )
+            if not evaluation.feasible:
+                continue
+            key = (evaluation.latency_seconds, index)
+            if best is None or key < best:
+                best = key
+                best_strategy = strategy
+        result[node.name] = best_strategy
+    return result
+
+
+def _seed_genomes(
+    nodes: list[LayerNode],
+    parallelism: int,
+    evaluator: MappingEvaluator | None = None,
+    accs: tuple[int, ...] | None = None,
+    design: AcceleratorDesign | None = None,
+) -> list[np.ndarray]:
+    """Heuristic first-generation individuals.
+
+    Seeds encode: the per-layer greedy shortlist choice, the baseline
+    longest-two-dims rule, pure spatial H/W partitioning, and channel
+    partitioning — the mapping motifs of Table III.
+    """
+    compute = [n for n in nodes if n.is_compute]
+
+    def genome_for(choose) -> np.ndarray:
+        genome = np.zeros(len(compute) * GENES_PER_LAYER)
+        for i, node in enumerate(compute):
+            strategy = choose(node)
+            base = i * GENES_PER_LAYER
+            genome[base] = min(len(strategy.es) / 2.0 + 0.17, 0.99)
+            for rank, dim in enumerate(strategy.canonical_es()):
+                genome[base + 1 + LOOP_DIMS.index(dim)] = 1.0 - 0.1 * rank
+            genome[base + 7] = 0.0 if strategy.ss is None else 1.0
+            if strategy.ss is not None:
+                genome[base + 8 + LOOP_DIMS.index(strategy.ss)] = 1.0
+        return genome
+
+    seeds = [
+        genome_for(lambda n: longest_dims_strategy(n.conv_spec(), 2)),
+        genome_for(
+            lambda n: ParallelismStrategy(es=(LoopDim.H, LoopDim.W))
+        ),
+        genome_for(lambda n: longest_dims_strategy(n.conv_spec(), 1)),
+        genome_for(
+            lambda n: ParallelismStrategy(es=(LoopDim.COUT, LoopDim.CIN))
+        ),
+    ]
+    if evaluator is not None and accs is not None:
+        greedy = greedy_strategies(evaluator, compute, accs, design)
+        seeds.insert(0, genome_for(lambda n: greedy[n.name]))
+    return seeds
+
+
+def optimize_set(
+    evaluator: MappingEvaluator,
+    nodes: list[LayerNode],
+    accs: tuple[int, ...],
+    design: AcceleratorDesign | None,
+    config: GAConfig,
+    rng: np.random.Generator,
+) -> SetSolution:
+    """Run the second-level GA on one sub-problem."""
+    compute_nodes = [n for n in nodes if n.is_compute]
+    parallelism = len(accs)
+
+    if not compute_nodes or parallelism == 1:
+        strategies = {n.name: NO_PARALLELISM for n in compute_nodes}
+        evaluation = evaluator.evaluate_set(nodes, accs, design, strategies)
+        return SetSolution(strategies, evaluation.latency_seconds, evaluation)
+
+    dtype = evaluator.options.dtype_bytes
+
+    def decode(genome: np.ndarray) -> dict[str, ParallelismStrategy]:
+        strategies = {}
+        for i, node in enumerate(compute_nodes):
+            genes = genome[i * GENES_PER_LAYER : (i + 1) * GENES_PER_LAYER]
+            strategies[node.name] = decode_layer_strategy(
+                genes, node, parallelism, dtype
+            )
+        return strategies
+
+    def fitness(genome: np.ndarray) -> float:
+        return evaluator.evaluate_set(
+            nodes, accs, design, decode(genome)
+        ).latency_seconds
+
+    ga = GeneticAlgorithm(
+        genome_length=len(compute_nodes) * GENES_PER_LAYER,
+        fitness=fitness,
+        config=config,
+        rng=rng,
+        seeds=_seed_genomes(nodes, parallelism, evaluator, accs, design),
+    )
+    result = ga.run()
+    best_strategies = decode(result.best_genome)
+    evaluation = evaluator.evaluate_set(nodes, accs, design, best_strategies)
+    return SetSolution(
+        strategies=best_strategies,
+        latency_seconds=evaluation.latency_seconds,
+        evaluation=evaluation,
+        ga=result,
+    )

@@ -1,0 +1,94 @@
+"""The MARS facade: one call from workload + system to a mapping.
+
+>>> from repro.core.mapper import Mars
+>>> from repro.dnn import build_model
+>>> from repro.system import f1_16xlarge
+>>> result = Mars(build_model("tiny_cnn"), f1_16xlarge()).search(seed=0)
+>>> result.latency_ms  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.registry import table2_designs
+from repro.core.evaluator import (
+    EvaluatorOptions,
+    MappingEvaluation,
+    MappingEvaluator,
+)
+from repro.core.formulation import Mapping
+from repro.core.ga.engine import GAResult
+from repro.core.ga.level1 import Level1Search, SearchBudget
+from repro.dnn.graph import ComputationGraph
+from repro.simulator.program import ExecutionProgram
+from repro.system.topology import SystemTopology
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class MarsResult:
+    """Outcome of a MARS search."""
+
+    mapping: Mapping
+    evaluation: MappingEvaluation
+    ga: GAResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.evaluation.latency_ms
+
+    @property
+    def feasible(self) -> bool:
+        return self.evaluation.feasible
+
+    def describe(self) -> str:
+        return self.mapping.describe()
+
+    @property
+    def convergence(self) -> list[float]:
+        """Best latency (seconds) per level-1 generation."""
+        return self.ga.history
+
+
+@dataclass
+class Mars:
+    """The MARS mapping framework (paper Sections III-V).
+
+    Args:
+        graph: The DNN workload.
+        topology: The multi-accelerator system. ``adaptive`` systems
+            draw designs from ``designs``; ``fixed`` systems use the
+            designs baked into the topology.
+        designs: Design catalog for adaptive systems (Table II default).
+        budget: GA budgets for the two levels.
+        options: Cost-model knobs.
+    """
+
+    graph: ComputationGraph
+    topology: SystemTopology
+    designs: list[AcceleratorDesign] = field(default_factory=table2_designs)
+    budget: SearchBudget = field(default_factory=SearchBudget.fast)
+    options: EvaluatorOptions = field(default_factory=EvaluatorOptions)
+    objective: str = "latency"
+
+    def search(self, seed: int = 0) -> MarsResult:
+        """Run the two-level GA and return the best mapping found."""
+        evaluator = MappingEvaluator(self.graph, self.topology, self.options)
+        search = Level1Search(
+            graph=self.graph,
+            topology=self.topology,
+            designs=self.designs if self.topology.kind == "adaptive" else [],
+            evaluator=evaluator,
+            budget=self.budget,
+            rng=make_rng(seed),
+            objective=self.objective,
+        )
+        mapping, evaluation, ga_result = search.run()
+        return MarsResult(mapping=mapping, evaluation=evaluation, ga=ga_result)
+
+    def compile_program(self, result: MarsResult) -> ExecutionProgram:
+        """Replayable execution program of a search result."""
+        evaluator = MappingEvaluator(self.graph, self.topology, self.options)
+        return evaluator.compile_program(result.mapping)

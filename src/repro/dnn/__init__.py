@@ -1,0 +1,53 @@
+"""DNN workload substrate: tensors, layers, computation graphs, model zoo.
+
+This package is the workload side of the MARS formulation (Section III of
+the paper): a DNN is a directed acyclic graph of layers, flattened in
+topological order for mapping. Convolution layers carry the canonical
+six-deep loop nest ``(Cout, Cin, H, W, Kh, Kw)`` that the parallelism
+strategies partition.
+"""
+
+from repro.dnn.graph import ComputationGraph, GraphStats, LayerNode
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    ConvSpec,
+    FeatureMap,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool,
+    InputLayer,
+    Layer,
+    LoopDim,
+    Pool2d,
+    TensorSpec,
+)
+from repro.dnn.models import MODEL_ZOO, build_model
+
+__all__ = [
+    "Activation",
+    "Add",
+    "BatchNorm",
+    "ComputationGraph",
+    "Concat",
+    "Conv2d",
+    "ConvSpec",
+    "FeatureMap",
+    "Flatten",
+    "FullyConnected",
+    "GlobalAvgPool",
+    "GraphBuilder",
+    "GraphStats",
+    "InputLayer",
+    "Layer",
+    "LayerNode",
+    "LoopDim",
+    "MODEL_ZOO",
+    "Pool2d",
+    "TensorSpec",
+    "build_model",
+]

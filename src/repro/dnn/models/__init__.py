@@ -1,0 +1,91 @@
+"""Model zoo: the paper's benchmark workloads plus small test models.
+
+Table III evaluates AlexNet, VGG16, ResNet-34, ResNet-101 and
+WideResNet-50-2; Table IV evaluates two heterogeneous multi-modal
+models in the style of CASIA-SURF [17] and FaceBagNet [18] (see
+DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.dnn.graph import ComputationGraph
+from repro.dnn.models.alexnet import alexnet
+from repro.dnn.models.heterogeneous import casia_surf_net, facebagnet
+from repro.dnn.models.mobilenet import mobilenet_v1
+from repro.dnn.models.random_model import random_model
+from repro.dnn.models.resnet import (
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    wide_resnet50_2,
+)
+from repro.dnn.models.squeezenet import squeezenet
+from repro.dnn.models.tiny import tiny_cnn, tiny_resnet
+from repro.dnn.models.vgg import vgg16
+
+#: Registry of model factories keyed by canonical name.
+MODEL_ZOO: dict[str, Callable[[], ComputationGraph]] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "wide_resnet50_2": wide_resnet50_2,
+    "squeezenet": squeezenet,
+    "mobilenet_v1": mobilenet_v1,
+    "casia_surf": casia_surf_net,
+    "facebagnet": facebagnet,
+    "tiny_cnn": tiny_cnn,
+    "tiny_resnet": tiny_resnet,
+}
+
+#: The five homogeneous CNNs of Table III, in the paper's row order.
+TABLE3_MODELS: tuple[str, ...] = (
+    "alexnet",
+    "vgg16",
+    "resnet34",
+    "resnet101",
+    "wide_resnet50_2",
+)
+
+#: The two heterogeneous models of Table IV.
+TABLE4_MODELS: tuple[str, ...] = ("casia_surf", "facebagnet")
+
+
+def build_model(name: str) -> ComputationGraph:
+    """Instantiate a zoo model by name.
+
+    Raises :class:`KeyError` with the available names when unknown.
+    """
+    try:
+        factory = MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; available: {known}") from None
+    return factory()
+
+
+__all__ = [
+    "MODEL_ZOO",
+    "TABLE3_MODELS",
+    "TABLE4_MODELS",
+    "alexnet",
+    "build_model",
+    "casia_surf_net",
+    "facebagnet",
+    "mobilenet_v1",
+    "random_model",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "squeezenet",
+    "tiny_cnn",
+    "tiny_resnet",
+    "vgg16",
+    "wide_resnet50_2",
+]

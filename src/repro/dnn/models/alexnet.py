@@ -1,0 +1,42 @@
+"""AlexNet (Krizhevsky et al., 2012) in its torchvision single-tower form.
+
+Table III reports 5 convolutions, 61.1M parameters and ~0.73G FLOPs
+(MAC-counting convention); this construction matches those statistics.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+
+
+def alexnet(num_classes: int = 1000) -> ComputationGraph:
+    """Build AlexNet for 224x224 RGB inputs."""
+    b = GraphBuilder("alexnet")
+    x = b.input(3, 224, 224)
+
+    x = b.conv(x, 64, kernel=11, stride=4, padding=2, name="conv1")
+    x = b.relu(x)
+    x = b.maxpool(x, 3, 2)
+
+    x = b.conv(x, 192, kernel=5, padding=2, name="conv2")
+    x = b.relu(x)
+    x = b.maxpool(x, 3, 2)
+
+    x = b.conv(x, 384, kernel=3, padding=1, name="conv3")
+    x = b.relu(x)
+
+    x = b.conv(x, 256, kernel=3, padding=1, name="conv4")
+    x = b.relu(x)
+
+    x = b.conv(x, 256, kernel=3, padding=1, name="conv5")
+    x = b.relu(x)
+    x = b.maxpool(x, 3, 2)
+
+    x = b.flatten(x)
+    x = b.fc(x, 4096, name="fc6")
+    x = b.relu(x)
+    x = b.fc(x, 4096, name="fc7")
+    x = b.relu(x)
+    b.fc(x, num_classes, name="fc8")
+    return b.build()

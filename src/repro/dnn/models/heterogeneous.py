@@ -1,0 +1,111 @@
+"""Heterogeneous multi-modal models for the Table IV comparison with H2H.
+
+The paper evaluates two ResNet-based heterogeneous face-anti-spoofing
+models: the CASIA-SURF baseline network [17] and FaceBagNet [18]. The
+trained models are not released with the paper; per DESIGN.md we build
+structurally faithful stand-ins:
+
+* :func:`casia_surf_net` — three modality branches (RGB / depth / IR)
+  with ResNet-18-style trunks fused by channel concatenation, followed
+  by shared residual stages. This mirrors the multi-stream fusion
+  architecture of the CASIA-SURF baseline.
+* :func:`facebagnet` — patch-based multi-modal branches of deliberately
+  different widths (the "bag of local features"), fused late. The width
+  heterogeneity is what stresses computation-aware mapping.
+
+What matters for the experiment is heterogeneity: parallel branches with
+mixed layer shapes whose mapping requires computation *and*
+communication awareness. Exact classifier weights are irrelevant to the
+latency study.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+from repro.dnn.models.resnet import _basic_block
+
+
+def _modality_trunk(
+    b: GraphBuilder,
+    modality: str,
+    in_channels: int,
+    base_width: int,
+    input_hw: int,
+) -> str:
+    """Stem + two residual stages for one input modality."""
+    x = b.input(in_channels, input_hw, input_hw, name=f"{modality}_input")
+    x = b.conv_bn_relu(
+        x, base_width, kernel=7, stride=2, padding=3, name=f"{modality}_conv1"
+    )
+    x = b.maxpool(x, 3, 2, padding=1)
+    for block in range(2):
+        x = _basic_block(
+            b, x, base_width, stride=1, block_name=f"{modality}_s2_{block}"
+        )
+    for block in range(2):
+        stride = 2 if block == 0 else 1
+        x = _basic_block(
+            b, x, base_width * 2, stride=stride,
+            block_name=f"{modality}_s3_{block}",
+        )
+    return x
+
+
+def casia_surf_net() -> ComputationGraph:
+    """Three-stream RGB/depth/IR network with shared fusion stages.
+
+    Branches: ResNet-18-style stems and two stages per modality at
+    224x224 input; fusion by channel concat (3 x 128 = 384 channels)
+    followed by two shared residual stages and a classifier.
+    """
+    b = GraphBuilder("casia_surf")
+    rgb = _modality_trunk(b, "rgb", in_channels=3, base_width=64, input_hw=224)
+    depth = _modality_trunk(b, "depth", in_channels=1, base_width=64, input_hw=224)
+    ir = _modality_trunk(b, "ir", in_channels=1, base_width=64, input_hw=224)
+
+    x = b.concat([rgb, depth, ir], name="fusion_concat")
+    for block in range(2):
+        stride = 2 if block == 0 else 1
+        x = _basic_block(b, x, 256, stride=stride, block_name=f"fusion_s4_{block}")
+    for block in range(2):
+        stride = 2 if block == 0 else 1
+        x = _basic_block(b, x, 512, stride=stride, block_name=f"fusion_s5_{block}")
+
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, 2, name="fc_spoof")
+    return b.build()
+
+
+def facebagnet() -> ComputationGraph:
+    """Patch-based multi-modal network with heterogeneous branch widths.
+
+    Three modality branches consume 96x96 patches; widths differ per
+    modality (64 / 32 / 48 base channels) so no single accelerator
+    design fits all branches — the property Table IV exercises.
+    """
+    b = GraphBuilder("facebagnet")
+
+    branches = []
+    for modality, in_channels, width in (
+        ("rgb", 3, 64),
+        ("depth", 1, 32),
+        ("ir", 1, 48),
+    ):
+        x = b.input(in_channels, 96, 96, name=f"{modality}_patch")
+        x = b.conv_bn_relu(
+            x, width, kernel=3, padding=1, name=f"{modality}_conv1"
+        )
+        x = _basic_block(b, x, width, stride=1, block_name=f"{modality}_b1")
+        x = _basic_block(b, x, width * 2, stride=2, block_name=f"{modality}_b2")
+        x = _basic_block(b, x, width * 4, stride=2, block_name=f"{modality}_b3")
+        branches.append(x)
+
+    x = b.concat(branches, name="bag_concat")
+    x = b.conv_bn_relu(x, 512, kernel=1, name="fusion_conv")
+    x = _basic_block(b, x, 512, stride=2, block_name="fusion_b1")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, 2, name="fc_spoof")
+    return b.build()

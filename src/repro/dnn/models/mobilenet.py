@@ -1,0 +1,61 @@
+"""MobileNetV1 (Howard et al., 2017) — depthwise-separable convolutions.
+
+Exercises the grouped-convolution support end to end: each block is a
+depthwise 3x3 (``groups == channels``) followed by a pointwise 1x1.
+Depthwise layers are notoriously inefficient on channel-parallel CNN
+accelerators (input-channel lanes see one channel per group), which
+makes this model a stress test for computation-aware design selection.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+from repro.dnn.layers import Conv2d
+
+#: (stride of the depthwise conv, output channels of the pointwise conv)
+_BLOCKS: tuple[tuple[int, int], ...] = (
+    (1, 64),
+    (2, 128), (1, 128),
+    (2, 256), (1, 256),
+    (2, 512), (1, 512), (1, 512), (1, 512), (1, 512), (1, 512),
+    (2, 1024), (1, 1024),
+)
+
+
+def _separable_block(
+    b: GraphBuilder, x: str, stride: int, out_channels: int, index: int
+) -> str:
+    channels = b.shape_of(x).channels
+    dw = b.add(
+        Conv2d(
+            out_channels=channels,
+            kernel=3,
+            stride=stride,
+            padding=1,
+            bias=False,
+            groups=channels,
+        ),
+        (x,),
+        name=f"dw{index}",
+    )
+    dw = b.batchnorm(dw)
+    dw = b.relu(dw)
+    pw = b.conv(
+        dw, out_channels, kernel=1, bias=False, name=f"pw{index}"
+    )
+    pw = b.batchnorm(pw)
+    return b.relu(pw)
+
+
+def mobilenet_v1(num_classes: int = 1000) -> ComputationGraph:
+    """MobileNetV1 (width 1.0) for 224x224 RGB inputs (~4.2M params)."""
+    b = GraphBuilder("mobilenet_v1")
+    x = b.input(3, 224, 224)
+    x = b.conv_bn_relu(x, 32, kernel=3, stride=2, padding=1, name="conv1")
+    for index, (stride, out_channels) in enumerate(_BLOCKS, start=1):
+        x = _separable_block(b, x, stride, out_channels, index)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, num_classes, name="fc")
+    return b.build()

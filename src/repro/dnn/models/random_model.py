@@ -1,0 +1,76 @@
+"""Seeded random CNN generator for whole-pipeline fuzzing.
+
+Property-based tests need workloads beyond the fixed zoo: this builds
+structurally valid, shape-checked CNNs with optional residual branches
+from a seed, covering awkward shapes (tiny feature maps, prime channel
+counts, deep chains) the mapper must survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+from repro.utils.rng import make_rng
+
+#: Channel counts deliberately include primes and non-multiples of the
+#: accelerator tile sizes.
+_CHANNEL_CHOICES = (3, 7, 13, 16, 24, 48, 64, 96, 130)
+
+
+def random_model(
+    seed: int,
+    min_convs: int = 2,
+    max_convs: int = 10,
+    input_hw: int = 64,
+) -> ComputationGraph:
+    """Build a random, valid CNN from ``seed``.
+
+    The generated network is a chain of conv/pool/activation stages
+    with occasional residual skips (same-shape Add), ending in global
+    pooling and a classifier — every graph the zoo's architectures can
+    express, in miniature.
+    """
+    rng = make_rng(seed)
+    b = GraphBuilder(f"random_{seed}")
+    x = b.input(int(rng.choice([1, 3, 4])), input_hw, input_hw)
+
+    num_convs = int(rng.integers(min_convs, max_convs + 1))
+    hw = input_hw
+    for index in range(num_convs):
+        channels = int(rng.choice(_CHANNEL_CHOICES))
+        kernel = int(rng.choice([1, 3, 5]))
+        stride = int(rng.choice([1, 1, 2])) if hw >= 8 else 1
+        padding = kernel // 2
+        x = b.conv(
+            x,
+            channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            name=f"conv{index}",
+        )
+        hw = (hw + 2 * padding - kernel) // stride + 1
+        if rng.random() < 0.5:
+            x = b.relu(x)
+        if rng.random() < 0.3:
+            x = b.batchnorm(x)
+        # Same-shape residual skip: conv -> add(conv_out, identity).
+        if rng.random() < 0.25:
+            y = b.conv(
+                x,
+                channels,
+                kernel=3,
+                padding=1,
+                name=f"res{index}",
+            )
+            x = b.add_residual(y, x)
+        if rng.random() < 0.2 and hw >= 4:
+            x = b.maxpool(x, 2, 2)
+            hw //= 2
+
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, int(rng.choice([2, 10, 100])), name="fc")
+    return b.build()

@@ -1,0 +1,148 @@
+"""ResNet family (He et al., 2016) and WideResNet-50-2 (Zagoruyko, 2016).
+
+Table III reports:
+
+* ResNet-34 — 33 convs, 21.8M params, 3.68G FLOPs
+* ResNet-101 — 100 convs, 44.55M params, 7.85G FLOPs
+* WRN-50-2 — 49 convs, 68.8M params, 11.4G FLOPs
+
+The paper's #Convs column counts main-path convolutions (conv1 plus the
+block convs); 1x1 projection shortcuts are present in the graph but
+tagged ``role="projection"`` so statistics can match the paper while the
+mapper still sees the full workload.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+
+
+def _basic_block(
+    b: GraphBuilder,
+    x: str,
+    out_channels: int,
+    stride: int,
+    block_name: str,
+) -> str:
+    """Two 3x3 convs with a residual connection (ResNet-18/34)."""
+    identity = x
+    y = b.conv_bn_relu(
+        x, out_channels, kernel=3, stride=stride, padding=1,
+        name=f"{block_name}_conv1",
+    )
+    y = b.conv(
+        y, out_channels, kernel=3, padding=1, bias=False,
+        name=f"{block_name}_conv2",
+    )
+    y = b.batchnorm(y)
+    in_channels = b.shape_of(identity).channels
+    if stride != 1 or in_channels != out_channels:
+        identity = b.conv(
+            identity, out_channels, kernel=1, stride=stride, bias=False,
+            role="projection", name=f"{block_name}_proj",
+        )
+        identity = b.batchnorm(identity)
+    y = b.add_residual(y, identity)
+    return b.relu(y)
+
+
+def _bottleneck_block(
+    b: GraphBuilder,
+    x: str,
+    width: int,
+    out_channels: int,
+    stride: int,
+    block_name: str,
+) -> str:
+    """1x1 -> 3x3 -> 1x1 bottleneck (ResNet-50/101; WRN doubles ``width``)."""
+    identity = x
+    y = b.conv_bn_relu(x, width, kernel=1, name=f"{block_name}_conv1")
+    y = b.conv_bn_relu(
+        y, width, kernel=3, stride=stride, padding=1,
+        name=f"{block_name}_conv2",
+    )
+    y = b.conv(
+        y, out_channels, kernel=1, bias=False, name=f"{block_name}_conv3"
+    )
+    y = b.batchnorm(y)
+    in_channels = b.shape_of(identity).channels
+    if stride != 1 or in_channels != out_channels:
+        identity = b.conv(
+            identity, out_channels, kernel=1, stride=stride, bias=False,
+            role="projection", name=f"{block_name}_proj",
+        )
+        identity = b.batchnorm(identity)
+    y = b.add_residual(y, identity)
+    return b.relu(y)
+
+
+def _resnet_stem(b: GraphBuilder) -> str:
+    x = b.input(3, 224, 224)
+    x = b.conv_bn_relu(x, 64, kernel=7, stride=2, padding=3, name="conv1")
+    return b.maxpool(x, 3, 2, padding=1)
+
+
+def _basic_resnet(name: str, blocks_per_stage: tuple[int, ...]) -> ComputationGraph:
+    b = GraphBuilder(name)
+    x = _resnet_stem(b)
+    channels = 64
+    for stage, num_blocks in enumerate(blocks_per_stage, start=2):
+        for block in range(num_blocks):
+            stride = 2 if (stage > 2 and block == 0) else 1
+            x = _basic_block(
+                b, x, channels, stride, f"layer{stage}_{block}"
+            )
+        channels *= 2
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, 1000, name="fc")
+    return b.build()
+
+
+def _bottleneck_resnet(
+    name: str,
+    blocks_per_stage: tuple[int, ...],
+    width_multiplier: int = 1,
+) -> ComputationGraph:
+    b = GraphBuilder(name)
+    x = _resnet_stem(b)
+    base_width = 64
+    for stage, num_blocks in enumerate(blocks_per_stage, start=2):
+        width = base_width * width_multiplier
+        out_channels = base_width * 4
+        for block in range(num_blocks):
+            stride = 2 if (stage > 2 and block == 0) else 1
+            x = _bottleneck_block(
+                b, x, width, out_channels, stride, f"layer{stage}_{block}"
+            )
+        base_width *= 2
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, 1000, name="fc")
+    return b.build()
+
+
+def resnet18() -> ComputationGraph:
+    """ResNet-18: basic blocks [2, 2, 2, 2]."""
+    return _basic_resnet("resnet18", (2, 2, 2, 2))
+
+
+def resnet34() -> ComputationGraph:
+    """ResNet-34: basic blocks [3, 4, 6, 3]."""
+    return _basic_resnet("resnet34", (3, 4, 6, 3))
+
+
+def resnet50() -> ComputationGraph:
+    """ResNet-50: bottleneck blocks [3, 4, 6, 3]."""
+    return _bottleneck_resnet("resnet50", (3, 4, 6, 3))
+
+
+def resnet101() -> ComputationGraph:
+    """ResNet-101: bottleneck blocks [3, 4, 23, 3]."""
+    return _bottleneck_resnet("resnet101", (3, 4, 23, 3))
+
+
+def wide_resnet50_2() -> ComputationGraph:
+    """WideResNet-50-2: bottleneck blocks [3, 4, 6, 3] with 2x inner width."""
+    return _bottleneck_resnet("wide_resnet50_2", (3, 4, 6, 3), width_multiplier=2)

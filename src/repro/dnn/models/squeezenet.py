@@ -1,0 +1,58 @@
+"""SqueezeNet 1.1 (Iandola et al., 2016).
+
+A 1x1-dominated architecture: every fire module squeezes through 1x1
+convolutions and expands through parallel 1x1/3x3 branches. Useful as a
+stress test for the Section VI-B claim that Winograd-style designs
+cannot serve 1x1-heavy networks, and as a branching workload for the
+mapper (each fire module forks and concatenates).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+
+
+def _fire_module(
+    b: GraphBuilder,
+    x: str,
+    squeeze: int,
+    expand: int,
+    name: str,
+) -> str:
+    """squeeze 1x1 -> parallel (expand 1x1, expand 3x3) -> concat."""
+    s = b.conv(x, squeeze, kernel=1, name=f"{name}_squeeze1x1")
+    s = b.relu(s)
+    e1 = b.conv(s, expand, kernel=1, name=f"{name}_expand1x1")
+    e1 = b.relu(e1)
+    e3 = b.conv(s, expand, kernel=3, padding=1, name=f"{name}_expand3x3")
+    e3 = b.relu(e3)
+    return b.concat([e1, e3], name=f"{name}_concat")
+
+
+def squeezenet() -> ComputationGraph:
+    """SqueezeNet 1.1 for 224x224 RGB inputs (~1.24M params)."""
+    b = GraphBuilder("squeezenet")
+    x = b.input(3, 224, 224)
+    x = b.conv(x, 64, kernel=3, stride=2, name="conv1")
+    x = b.relu(x)
+    x = b.maxpool(x, 3, 2)
+
+    x = _fire_module(b, x, 16, 64, "fire2")
+    x = _fire_module(b, x, 16, 64, "fire3")
+    x = b.maxpool(x, 3, 2)
+
+    x = _fire_module(b, x, 32, 128, "fire4")
+    x = _fire_module(b, x, 32, 128, "fire5")
+    x = b.maxpool(x, 3, 2)
+
+    x = _fire_module(b, x, 48, 192, "fire6")
+    x = _fire_module(b, x, 48, 192, "fire7")
+    x = _fire_module(b, x, 64, 256, "fire8")
+    x = _fire_module(b, x, 64, 256, "fire9")
+
+    x = b.conv(x, 1000, kernel=1, name="conv10")
+    x = b.relu(x)
+    x = b.global_avgpool(x)
+    b.flatten(x, name="logits")
+    return b.build()

@@ -1,0 +1,42 @@
+"""Small models used by tests, docs and quick examples.
+
+They exercise every layer kind (conv, pool, BN, residual add, FC) while
+staying fast enough for property-based tests and CI.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+from repro.dnn.models.resnet import _basic_block
+
+
+def tiny_cnn(num_classes: int = 10) -> ComputationGraph:
+    """Four convs + FC on a 32x32 input; no branches."""
+    b = GraphBuilder("tiny_cnn")
+    x = b.input(3, 32, 32)
+    x = b.conv(x, 16, kernel=3, padding=1, name="conv1")
+    x = b.relu(x)
+    x = b.conv(x, 32, kernel=3, stride=2, padding=1, name="conv2")
+    x = b.relu(x)
+    x = b.conv(x, 64, kernel=3, stride=2, padding=1, name="conv3")
+    x = b.relu(x)
+    x = b.conv(x, 64, kernel=3, padding=1, name="conv4")
+    x = b.relu(x)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, num_classes, name="fc")
+    return b.build()
+
+
+def tiny_resnet(num_classes: int = 10) -> ComputationGraph:
+    """Two residual stages on a 32x32 input; includes a projection."""
+    b = GraphBuilder("tiny_resnet")
+    x = b.input(3, 32, 32)
+    x = b.conv_bn_relu(x, 16, kernel=3, padding=1, name="conv1")
+    x = _basic_block(b, x, 16, stride=1, block_name="s1_0")
+    x = _basic_block(b, x, 32, stride=2, block_name="s2_0")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, num_classes, name="fc")
+    return b.build()

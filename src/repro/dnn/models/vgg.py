@@ -1,0 +1,43 @@
+"""VGG-16 (Simonyan & Zisserman, 2015), configuration D.
+
+Table III reports 13 convolutions, 138M parameters and 15.5G FLOPs.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import ComputationGraph
+
+#: Configuration D: channel width per conv, "M" marks 2x2 max pooling.
+_VGG16_CFG: tuple[object, ...] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def vgg16(num_classes: int = 1000) -> ComputationGraph:
+    """Build VGG-16 for 224x224 RGB inputs."""
+    b = GraphBuilder("vgg16")
+    x = b.input(3, 224, 224)
+
+    conv_index = 0
+    for item in _VGG16_CFG:
+        if item == "M":
+            x = b.maxpool(x, 2, 2)
+        else:
+            conv_index += 1
+            x = b.conv(
+                x, int(item), kernel=3, padding=1, name=f"conv{conv_index}"
+            )
+            x = b.relu(x)
+
+    x = b.flatten(x)
+    x = b.fc(x, 4096, name="fc14")
+    x = b.relu(x)
+    x = b.fc(x, 4096, name="fc15")
+    x = b.relu(x)
+    b.fc(x, num_classes, name="fc16")
+    return b.build()

@@ -1,0 +1,80 @@
+"""Multi-DNN workloads (the Herald setting the paper contrasts with).
+
+Herald [6] maps *multiple* DNNs onto one heterogeneous system. MARS's
+formulation handles that case unchanged once the workloads are merged
+into a single computation graph: each network keeps its own input and
+classifier, the graphs share no edges, and — because the flattened
+order keeps each network's nodes contiguous — the mapper's contiguous
+layer ranges can put different networks on different accelerator sets.
+
+In steady state (a stream of requests per network), the right figure of
+merit is the pipeline metric of
+:attr:`~repro.core.evaluator.MappingEvaluation.pipeline_interval_seconds`;
+the single-pass latency of the merged graph is the sum of the two
+networks run back-to-back.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import ComputationGraph, LayerNode
+from repro.utils.validation import require
+
+
+def combine_graphs(
+    graphs: list[ComputationGraph], name: str | None = None
+) -> ComputationGraph:
+    """Merge independent workloads into one mappable graph.
+
+    Node names are prefixed with their source graph's name, so layers
+    remain addressable (``vgg16/conv1``). Graphs are concatenated in
+    the given order; each one's internal topological order is kept.
+    """
+    require(len(graphs) >= 2, "combine_graphs needs at least two workloads")
+    names = [g.name for g in graphs]
+    require(
+        len(set(names)) == len(names),
+        f"workload names must be unique, got {names}",
+    )
+    merged: list[LayerNode] = []
+    for graph in graphs:
+        prefix = graph.name
+        for node in graph.nodes():
+            merged.append(
+                LayerNode(
+                    name=f"{prefix}/{node.name}",
+                    layer=node.layer,
+                    inputs=tuple(f"{prefix}/{src}" for src in node.inputs),
+                    input_shapes=node.input_shapes,
+                    output_shape=node.output_shape,
+                )
+            )
+    return ComputationGraph(name or "+".join(names), merged)
+
+
+def per_workload_ranges(
+    combined: ComputationGraph, workload_names: list[str]
+) -> dict[str, tuple[int, int]]:
+    """Node-index range of each source workload inside the merged graph.
+
+    Useful for seeding or constraining the mapper so network boundaries
+    align with accelerator-set boundaries.
+    """
+    order = combined.topological_order()
+    ranges: dict[str, tuple[int, int]] = {}
+    for workload in workload_names:
+        indices = [
+            i
+            for i, node_name in enumerate(order)
+            if node_name.startswith(f"{workload}/")
+        ]
+        require(
+            bool(indices),
+            f"workload {workload!r} has no nodes in the combined graph",
+        )
+        start, stop = indices[0], indices[-1] + 1
+        require(
+            indices == list(range(start, stop)),
+            f"workload {workload!r} is not contiguous in the merged order",
+        )
+        ranges[workload] = (start, stop)
+    return ranges

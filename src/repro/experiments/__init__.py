@@ -1,0 +1,27 @@
+"""Experiment runners that regenerate every table and figure.
+
+Each module maps to one row of DESIGN.md's experiment index:
+
+* :mod:`repro.experiments.table2` — E1, the design catalog.
+* :mod:`repro.experiments.table3` — E2, baseline vs MARS on five CNNs.
+* :mod:`repro.experiments.table4` — E3, MARS vs H2H across bandwidths.
+* :mod:`repro.experiments.patterns` — E7, Section VI-B mapping patterns.
+"""
+
+from repro.experiments.patterns import MappingPatterns, analyze_mapping
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, Table3Row, run_table3
+from repro.experiments.table4 import Table4Cell, Table4Result, run_table4
+
+__all__ = [
+    "MappingPatterns",
+    "Table2Result",
+    "Table3Result",
+    "Table3Row",
+    "Table4Cell",
+    "Table4Result",
+    "analyze_mapping",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,63 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments table2
+    python -m repro.experiments table3 --models alexnet vgg16 --budget fast
+    python -m repro.experiments table4 --budget paper --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.ga import SearchBudget
+from repro.dnn.models import TABLE3_MODELS, TABLE4_MODELS
+from repro.experiments import run_table2, run_table3, run_table4
+
+
+def _budget(name: str) -> SearchBudget:
+    return SearchBudget.paper() if name == "paper" else SearchBudget.fast()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables.",
+    )
+    parser.add_argument(
+        "experiment", choices=["table2", "table3", "table4"]
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="restrict to these models (default: the paper's set)",
+    )
+    parser.add_argument(
+        "--budget", choices=["fast", "paper"], default="fast"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table2":
+        models = tuple(args.models) if args.models else TABLE3_MODELS
+        print(run_table2(models=models).to_text())
+    elif args.experiment == "table3":
+        models = tuple(args.models) if args.models else TABLE3_MODELS
+        result = run_table3(
+            models=models, budget=_budget(args.budget), seed=args.seed
+        )
+        print(result.to_text())
+    else:
+        models = tuple(args.models) if args.models else TABLE4_MODELS
+        result = run_table4(
+            models=models, budget=_budget(args.budget), seed=args.seed
+        )
+        print(result.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Experiment E7: the qualitative mapping patterns of Section VI-B.
+
+The paper reads three patterns out of Table III's mappings:
+
+1. early high-resolution/low-channel layers go to SuperLIP-style
+   designs and are partitioned along H/W;
+2. deep layers with wide channels are partitioned along Cin/Cout;
+3. the Winograd design never appears for the 1x1-heavy bottleneck
+   models (ResNet-101, WRN-50-2).
+
+:func:`analyze_mapping` extracts the measurable form of these claims
+from any mapping so tests and reports can check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formulation import Mapping
+from repro.dnn.layers import LoopDim
+
+SPATIAL_DIMS = {LoopDim.H, LoopDim.W}
+CHANNEL_DIMS = {LoopDim.CIN, LoopDim.COUT}
+
+
+@dataclass
+class MappingPatterns:
+    """Quantified Section VI-B pattern evidence for one mapping."""
+
+    #: Design name of the set holding the first compute layer.
+    first_set_design: str | None
+    #: Designs used anywhere in the mapping.
+    designs_used: set[str]
+    #: Fraction of partitioned dims that are spatial, first third of convs.
+    early_spatial_fraction: float
+    #: Fraction of partitioned dims that are channels, last third of convs.
+    late_channel_fraction: float
+
+
+def _partitioned_dims(mapping: Mapping, node_name: str) -> set[LoopDim]:
+    order = mapping.graph.topological_order()
+    index = order.index(node_name)
+    assignment = mapping.assignment_of(index)
+    strategy = assignment.strategies.get(node_name)
+    if strategy is None:
+        return set()
+    dims = set(strategy.es)
+    if strategy.ss is not None:
+        dims.add(strategy.ss)
+    return dims
+
+
+def analyze_mapping(mapping: Mapping) -> MappingPatterns:
+    """Extract the Section VI-B pattern evidence from a mapping."""
+    convs = [n for n in mapping.graph.compute_nodes() if n.kind == "conv2d"]
+    if not convs:
+        raise ValueError("mapping has no convolution layers to analyze")
+    order = mapping.graph.topological_order()
+    first_index = order.index(convs[0].name)
+    first_assignment = mapping.assignment_of(first_index)
+    if first_assignment.design is not None:
+        first_design = first_assignment.design.name
+    else:
+        names = {
+            mapping.topology.design_of(a).name
+            for a in first_assignment.acc_set.accs
+        }
+        first_design = ", ".join(sorted(names))
+
+    designs_used = set()
+    for assignment in mapping.assignments:
+        if assignment.design is not None:
+            designs_used.add(assignment.design.name)
+        else:
+            designs_used.update(
+                mapping.topology.design_of(a).name
+                for a in assignment.acc_set.accs
+            )
+
+    third = max(1, len(convs) // 3)
+    early, late = convs[:third], convs[-third:]
+
+    def fraction(nodes, wanted: set[LoopDim]) -> float:
+        partitioned, matched = 0, 0
+        for node in nodes:
+            dims = _partitioned_dims(mapping, node.name)
+            partitioned += len(dims)
+            matched += len(dims & wanted)
+        return matched / partitioned if partitioned else 0.0
+
+    return MappingPatterns(
+        first_set_design=first_design,
+        designs_used=designs_used,
+        early_spatial_fraction=fraction(early, SPATIAL_DIMS),
+        late_channel_fraction=fraction(late, CHANNEL_DIMS),
+    )

@@ -1,0 +1,119 @@
+"""Experiment E2: Table III — baseline vs MARS on the five CNNs.
+
+For each model: the workload statistics, the Section VI-A baseline
+latency, the MARS latency, the reduction, and the mapping MARS found
+(Table III's right-hand column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators import table2_designs
+from repro.core.baselines import computation_prioritized_mapping
+from repro.core.evaluator import EvaluatorOptions
+from repro.core.ga import SearchBudget
+from repro.core.mapper import Mars, MarsResult
+from repro.dnn import build_model
+from repro.dnn.models import TABLE3_MODELS
+from repro.system import f1_16xlarge
+from repro.system.topology import SystemTopology
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Table3Row:
+    """One model's comparison row."""
+
+    model: str
+    num_convs: int
+    params_m: float
+    flops_g: float
+    baseline_ms: float
+    mars_ms: float
+    mapping_found: str
+
+    @property
+    def reduction_pct(self) -> float:
+        return (self.baseline_ms - self.mars_ms) / self.baseline_ms * 100.0
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row] = field(default_factory=list)
+    mars_results: dict[str, MarsResult] = field(default_factory=dict)
+
+    @property
+    def mean_reduction_pct(self) -> float:
+        return sum(r.reduction_pct for r in self.rows) / len(self.rows)
+
+    def to_text(self) -> str:
+        table_rows = [
+            [
+                row.model,
+                str(row.num_convs),
+                f"{row.params_m:.1f}M",
+                f"{row.flops_g:.2f}G",
+                f"{row.baseline_ms:.3f}",
+                f"{row.mars_ms:.3f}",
+                f"-{row.reduction_pct:.1f}%",
+            ]
+            for row in self.rows
+        ]
+        header = format_table(
+            [
+                "Model",
+                "#Convs",
+                "#Params",
+                "FLOPs",
+                "Baseline /ms",
+                "MARS /ms",
+                "Reduction",
+            ],
+            table_rows,
+            title="Table III: latency comparison between baseline and MARS",
+        )
+        mappings = "\n\n".join(
+            f"Mapping found by MARS for {row.model}:\n{row.mapping_found}"
+            for row in self.rows
+        )
+        footer = f"\nMean latency reduction: {self.mean_reduction_pct:.1f}%"
+        return header + footer + "\n\n" + mappings
+
+
+def run_table3(
+    models: tuple[str, ...] = TABLE3_MODELS,
+    topology: SystemTopology | None = None,
+    budget: SearchBudget | None = None,
+    options: EvaluatorOptions | None = None,
+    seed: int = 0,
+) -> Table3Result:
+    """Reproduce Table III (or a subset of its rows)."""
+    topology = topology or f1_16xlarge()
+    budget = budget or SearchBudget.fast()
+    options = options or EvaluatorOptions()
+    designs = table2_designs()
+
+    result = Table3Result()
+    for name in models:
+        graph = build_model(name)
+        stats = graph.stats()
+        baseline = computation_prioritized_mapping(
+            graph, topology, designs, options
+        )
+        mars = Mars(
+            graph, topology, designs=designs, budget=budget, options=options
+        ).search(seed=seed)
+        result.mars_results[name] = mars
+        result.rows.append(
+            Table3Row(
+                model=name,
+                num_convs=stats.num_convs,
+                params_m=stats.params_m,
+                flops_g=stats.flops_g,
+                baseline_ms=baseline.latency_ms,
+                mars_ms=mars.latency_ms,
+                mapping_found=mars.describe(),
+            )
+        )
+    return result

@@ -1,0 +1,44 @@
+"""ASTRA-Sim-style latency simulation for multi-accelerator systems.
+
+Two backends share one step vocabulary (:mod:`repro.simulator.program`):
+closed-form analytical pricing for the GA inner loop, and an
+event-driven replay with serialized link/host-port resources for
+validation and traces.
+"""
+
+from repro.simulator.analytical import AnalyticalCommModel
+from repro.simulator.collectives import CollectiveEngine
+from repro.simulator.events import EventQueue
+from repro.simulator.network import Network, TransferRecord
+from repro.simulator.program import (
+    CollectiveStep,
+    ComputeStep,
+    ExecutionProgram,
+    HostStep,
+    ReplayResult,
+    TransferStep,
+)
+from repro.simulator.trace import (
+    chrome_trace_json,
+    render_gantt,
+    step_intervals,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "AnalyticalCommModel",
+    "CollectiveEngine",
+    "CollectiveStep",
+    "ComputeStep",
+    "EventQueue",
+    "ExecutionProgram",
+    "HostStep",
+    "Network",
+    "ReplayResult",
+    "TransferRecord",
+    "TransferStep",
+    "chrome_trace_json",
+    "render_gantt",
+    "step_intervals",
+    "to_chrome_trace",
+]

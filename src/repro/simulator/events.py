@@ -1,0 +1,69 @@
+"""Minimal discrete-event engine.
+
+The event-driven network simulator (our stand-in for ASTRA-Sim's
+event core) schedules callbacks on a priority queue. Ties are broken by
+insertion sequence so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        require(
+            time >= self._now - 1e-15,
+            f"cannot schedule event at {time} before now={self._now}",
+        )
+        heapq.heappush(self._heap, _ScheduledEvent(time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        require(delay >= 0, f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains; returns final time."""
+        while self._heap:
+            if self._processed >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted after {max_events} events; "
+                    "likely a scheduling loop"
+                )
+            event = heapq.heappop(self._heap)
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,124 @@
+"""Event-driven network model over a :class:`SystemTopology`.
+
+Each direct link and each accelerator's host (PCIe) port is a serial
+resource: concurrent transfers queue FIFO, which captures the bus
+congestion the paper's SS strategy is designed to avoid. Messages pay a
+per-hop latency plus serialization time; host-staged transfers cross two
+ports (source up-link, destination down-link) sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.events import EventQueue
+from repro.system.topology import SystemTopology
+from repro.utils.units import transfer_seconds
+from repro.utils.validation import require
+
+
+@dataclass
+class _SerialResource:
+    """A bandwidth resource that serializes transfers FIFO."""
+
+    name: str
+    bandwidth_bps: float
+    busy_until: float = 0.0
+    bytes_carried: float = 0.0
+
+    def occupy(self, start: float, nbytes: float) -> tuple[float, float]:
+        """Reserve the resource; returns (transfer_start, transfer_end)."""
+        begin = max(start, self.busy_until)
+        duration = transfer_seconds(nbytes, self.bandwidth_bps)
+        end = begin + duration
+        self.busy_until = end
+        self.bytes_carried += nbytes
+        return begin, end
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed message, for traces and tests."""
+
+    src: int
+    dst: int
+    nbytes: float
+    start: float
+    end: float
+    route: str  # "direct" or "host"
+
+
+class Network:
+    """Message-level network simulation bound to an event queue."""
+
+    def __init__(self, topology: SystemTopology, events: EventQueue):
+        self.topology = topology
+        self.events = events
+        self.records: list[TransferRecord] = []
+        # Links are full-duplex: one serial resource per direction, so
+        # opposite-direction transfers (as in ring collectives) overlap.
+        self._links: dict[tuple[int, int], _SerialResource] = {}
+        for link in topology.links:
+            for src, dst in ((link.a, link.b), (link.b, link.a)):
+                self._links[(src, dst)] = _SerialResource(
+                    name=f"link{src}->{dst}", bandwidth_bps=link.bandwidth_bps
+                )
+        self._host_up: dict[int, _SerialResource] = {}
+        self._host_down: dict[int, _SerialResource] = {}
+        for acc in topology.accelerators:
+            bw = topology.host_bandwidth(acc.acc_id)
+            self._host_up[acc.acc_id] = _SerialResource(f"up{acc.acc_id}", bw)
+            self._host_down[acc.acc_id] = _SerialResource(f"down{acc.acc_id}", bw)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def transfer_end_time(self, start: float, src: int, dst: int, nbytes: float) -> float:
+        """Reserve resources for one message and return its end time.
+
+        Direct links are one hop; host-staged routes serialize the
+        source's up-link then the destination's down-link.
+        """
+        require(src != dst, f"transfer from accelerator {src} to itself")
+        require(nbytes >= 0, f"negative transfer size {nbytes}")
+        key = (src, dst)
+        if key in self._links:
+            begin, end = self._links[key].occupy(start, nbytes)
+            end += self.topology.link_latency_s
+            self.records.append(
+                TransferRecord(src, dst, nbytes, begin, end, "direct")
+            )
+            return end
+        # Host staging: up-link transfer completes, then down-link begins.
+        up_begin, up_end = self._host_up[src].occupy(start, nbytes)
+        up_end += self.topology.host_latency_s
+        down_begin, down_end = self._host_down[dst].occupy(up_end, nbytes)
+        down_end += self.topology.host_latency_s
+        self.records.append(
+            TransferRecord(src, dst, nbytes, up_begin, down_end, "host")
+        )
+        return down_end
+
+    def host_write_end_time(self, start: float, acc: int, nbytes: float) -> float:
+        """Accelerator -> host-memory write (memory spill traffic)."""
+        begin, end = self._host_up[acc].occupy(start, nbytes)
+        return end + self.topology.host_latency_s
+
+    def host_read_end_time(self, start: float, acc: int, nbytes: float) -> float:
+        """Host-memory -> accelerator read."""
+        begin, end = self._host_down[acc].occupy(start, nbytes)
+        return end + self.topology.host_latency_s
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_bytes_moved(self) -> float:
+        return sum(record.nbytes for record in self.records)
+
+    def bytes_by_route(self) -> dict[str, float]:
+        result = {"direct": 0.0, "host": 0.0}
+        for record in self.records:
+            result[record.route] += record.nbytes
+        return result

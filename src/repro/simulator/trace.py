@@ -1,0 +1,164 @@
+"""Execution-trace export: Chrome trace JSON and ASCII Gantt charts.
+
+A replayed :class:`~repro.simulator.program.ExecutionProgram` knows when
+each step finished and which bytes crossed which route; this module
+turns that into artifacts a user can actually look at:
+
+* :func:`to_chrome_trace` — the Chrome/Perfetto ``chrome://tracing``
+  JSON format (one track for the program steps, one per network route);
+* :func:`render_gantt` — a terminal-friendly timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.simulator.program import (
+    CollectiveStep,
+    ComputeStep,
+    ExecutionProgram,
+    HostStep,
+    ReplayResult,
+    Step,
+    TransferStep,
+)
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class StepInterval:
+    """One program step placed on the replayed timeline."""
+
+    label: str
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _step_kind(step: Step) -> str:
+    if isinstance(step, ComputeStep):
+        return "compute"
+    if isinstance(step, CollectiveStep):
+        return step.kind
+    if isinstance(step, TransferStep):
+        return "transfer"
+    return f"host-{step.kind}"
+
+
+def _step_label(step: Step) -> str:
+    label = getattr(step, "label", "")
+    return label or _step_kind(step)
+
+
+def step_intervals(
+    program: ExecutionProgram, replay: ReplayResult
+) -> list[StepInterval]:
+    """Each step's [start, end) on the replayed timeline."""
+    require(
+        len(program.steps) == len(replay.step_end_times),
+        f"replay has {len(replay.step_end_times)} step ends for "
+        f"{len(program.steps)} steps — wrong replay for this program?",
+    )
+    intervals = []
+    previous = 0.0
+    for step, end in zip(program.steps, replay.step_end_times):
+        intervals.append(
+            StepInterval(
+                label=_step_label(step),
+                kind=_step_kind(step),
+                start=previous,
+                end=end,
+            )
+        )
+        previous = end
+    return intervals
+
+
+def to_chrome_trace(
+    program: ExecutionProgram, replay: ReplayResult
+) -> dict:
+    """Build a ``chrome://tracing``-compatible trace object.
+
+    Times are exported in microseconds as the format requires. Program
+    steps land on pid "program"; individual network transfers land on
+    pid "network" with one thread per (src, dst) pair.
+    """
+    events = []
+    for interval in step_intervals(program, replay):
+        events.append(
+            {
+                "name": interval.label,
+                "cat": interval.kind,
+                "ph": "X",
+                "ts": interval.start * 1e6,
+                "dur": interval.duration * 1e6,
+                "pid": "program",
+                "tid": interval.kind,
+            }
+        )
+    for record in replay.network.records:
+        events.append(
+            {
+                "name": f"{record.nbytes / 1e6:.2f} MB ({record.route})",
+                "cat": record.route,
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": (record.end - record.start) * 1e6,
+                "pid": "network",
+                "tid": f"acc{record.src}->acc{record.dst}",
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(
+    program: ExecutionProgram, replay: ReplayResult, indent: int | None = None
+) -> str:
+    """Serialize :func:`to_chrome_trace` to a JSON string."""
+    return json.dumps(to_chrome_trace(program, replay), indent=indent)
+
+
+def render_gantt(
+    program: ExecutionProgram,
+    replay: ReplayResult,
+    width: int = 64,
+    max_rows: int = 40,
+) -> str:
+    """A terminal timeline: one row per step, bars scaled to the total.
+
+    Long programs are summarized by keeping the ``max_rows`` longest
+    steps (the ones worth looking at) in execution order.
+    """
+    require(width >= 16, f"width must be >= 16, got {width}")
+    intervals = step_intervals(program, replay)
+    total = replay.total_seconds
+    if total <= 0:
+        return "(empty timeline)"
+    if len(intervals) > max_rows:
+        keep = sorted(
+            sorted(intervals, key=lambda i: -i.duration)[:max_rows],
+            key=lambda i: i.start,
+        )
+        skipped = len(intervals) - len(keep)
+    else:
+        keep, skipped = intervals, 0
+
+    label_width = min(36, max(len(i.label) for i in keep))
+    lines = [
+        f"timeline: {total * 1e3:.3f} ms over {len(intervals)} steps"
+        + (f" (showing the {len(keep)} longest, {skipped} hidden)" if skipped else "")
+    ]
+    for interval in keep:
+        start_col = int(interval.start / total * width)
+        bar_len = max(1, int(interval.duration / total * width))
+        bar = " " * start_col + "#" * min(bar_len, width - start_col)
+        label = interval.label[:label_width].ljust(label_width)
+        lines.append(
+            f"{label} |{bar.ljust(width)}| {interval.duration * 1e3:8.3f} ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Multi-accelerator system modeling: topology graph, DRAM, presets."""
+
+from repro.system.memory import MemoryLedger
+from repro.system.presets import (
+    H2H_BANDWIDTH_LEVELS,
+    chiplet_mesh,
+    f1_16xlarge,
+    h2h_fixed_system,
+)
+from repro.system.topology import Accelerator, Link, SystemTopology
+
+__all__ = [
+    "Accelerator",
+    "H2H_BANDWIDTH_LEVELS",
+    "Link",
+    "MemoryLedger",
+    "SystemTopology",
+    "chiplet_mesh",
+    "f1_16xlarge",
+    "h2h_fixed_system",
+]

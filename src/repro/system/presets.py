@@ -1,0 +1,158 @@
+"""System presets: the F1 instance of Fig. 1 and the H2H bandwidth levels.
+
+The experiment setup (Section VI-A): eight accelerators in two groups;
+8 Gbps between accelerators of the same group, 2 Gbps accelerator-to-
+host, 1 GB off-chip DRAM per accelerator. The H2H comparison uses the
+five bandwidth levels of Table IV on a fixed heterogeneous catalog.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.h2h_designs import h2h_catalog
+from repro.system.topology import Accelerator, Link, SystemTopology
+from repro.utils.units import GIB, gbps
+from repro.utils.validation import require
+
+#: The five bandwidth levels of Table IV, label -> Gbps.
+H2H_BANDWIDTH_LEVELS: dict[str, float] = {
+    "Low-(1Gbps)": 1.0,
+    "Low(1.2Gbps)": 1.2,
+    "Mid-(2Gbps)": 2.0,
+    "Mid(4Gbps)": 4.0,
+    "High(10Gbps)": 10.0,
+}
+
+
+def f1_16xlarge(
+    intra_group_gbps: float = 8.0,
+    host_gbps: float = 2.0,
+    dram_bytes: int = 1 * GIB,
+    accelerators_per_group: int = 4,
+    num_groups: int = 2,
+) -> SystemTopology:
+    """The F1.16xlarge-style adaptive system of Fig. 1.
+
+    ``num_groups`` groups of ``accelerators_per_group`` FPGAs; full-mesh
+    direct links inside a group, host-staged communication across
+    groups. Defaults reproduce the paper's Section VI-A configuration.
+    """
+    require(num_groups >= 1, "need at least one group")
+    require(accelerators_per_group >= 1, "need at least one accelerator per group")
+    accelerators = []
+    links = []
+    host_bw = {}
+    for group_index in range(num_groups):
+        group_name = f"group{group_index + 1}"
+        members = []
+        for slot in range(accelerators_per_group):
+            acc_id = group_index * accelerators_per_group + slot
+            accelerators.append(
+                Accelerator(
+                    acc_id=acc_id,
+                    name=f"fpga{acc_id}",
+                    dram_bytes=dram_bytes,
+                    group=group_name,
+                )
+            )
+            host_bw[acc_id] = gbps(host_gbps)
+            members.append(acc_id)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                links.append(Link(a, b, gbps(intra_group_gbps)))
+    return SystemTopology(
+        name=f"f1_{num_groups}x{accelerators_per_group}",
+        accelerators=accelerators,
+        links=links,
+        host_bandwidth_bps=host_bw,
+    )
+
+
+def chiplet_mesh(
+    rows: int = 2,
+    cols: int = 4,
+    link_gbps: float = 25.0,
+    host_gbps: float = 8.0,
+    dram_bytes: int = 1 * GIB,
+) -> SystemTopology:
+    """A chiplet-style mesh (the NN-Baton [11] class of systems).
+
+    ``rows x cols`` chiplets with nearest-neighbour links (no full
+    mesh): multi-hop pairs communicate through host/package staging, so
+    the bottleneck structure differs qualitatively from the F1 preset —
+    a second topology family for exercising the AccSet heuristics.
+    Each row is treated as a group for reporting.
+    """
+    require(rows >= 1 and cols >= 1, "mesh needs at least one chiplet")
+    accelerators = []
+    links = []
+    host_bw = {}
+
+    def acc_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            idx = acc_id(r, c)
+            accelerators.append(
+                Accelerator(
+                    acc_id=idx,
+                    name=f"chiplet{idx}",
+                    dram_bytes=dram_bytes,
+                    group=f"row{r}",
+                )
+            )
+            host_bw[idx] = gbps(host_gbps)
+            if c + 1 < cols:
+                links.append(Link(idx, acc_id(r, c + 1), gbps(link_gbps)))
+            if r + 1 < rows:
+                links.append(Link(idx, acc_id(r + 1, c), gbps(link_gbps)))
+    return SystemTopology(
+        name=f"chiplet_{rows}x{cols}",
+        accelerators=accelerators,
+        links=links,
+        host_bandwidth_bps=host_bw,
+        link_latency_s=0.2e-6,  # on-package links are an order faster
+        host_latency_s=2e-6,
+    )
+
+
+def h2h_fixed_system(
+    bandwidth_gbps: float,
+    designs: list[AcceleratorDesign] | None = None,
+    dram_bytes: int = 1 * GIB,
+) -> SystemTopology:
+    """A fixed heterogeneous system at one of the H2H bandwidth levels.
+
+    One accelerator per catalog design, fully connected at
+    ``bandwidth_gbps`` (H2H's cloud multi-FPGA model); host links run at
+    the same level so host staging never short-cuts the fabric.
+    """
+    catalog = designs if designs is not None else h2h_catalog()
+    require(bool(catalog), "fixed system needs a design catalog")
+    accelerators = []
+    links = []
+    host_bw = {}
+    fixed = {}
+    for acc_id, design in enumerate(catalog):
+        accelerators.append(
+            Accelerator(
+                acc_id=acc_id,
+                name=f"acc{acc_id}",
+                dram_bytes=dram_bytes,
+                group="fabric",
+            )
+        )
+        host_bw[acc_id] = gbps(bandwidth_gbps)
+        fixed[acc_id] = design
+    for a in range(len(catalog)):
+        for b in range(a + 1, len(catalog)):
+            links.append(Link(a, b, gbps(bandwidth_gbps)))
+    return SystemTopology(
+        name=f"h2h_{bandwidth_gbps:g}gbps",
+        accelerators=accelerators,
+        links=links,
+        host_bandwidth_bps=host_bw,
+        kind="fixed",
+        fixed_designs=fixed,
+    )

@@ -1,0 +1,237 @@
+"""Multi-accelerator system topology: the graph G(Acc, BW) of Section III.
+
+Vertices are accelerators (with attached off-chip DRAM); weighted edges
+are direct communication links. Every accelerator additionally reaches
+the host over a (slow) host link, so accelerators without a direct edge
+communicate through the host — the asymmetric pattern of Fig. 1 that the
+mapping must respect.
+
+Systems come in two flavours:
+
+* ``adaptive`` — each accelerator's design is configurable (the F1
+  scenario; MARS chooses designs).
+* ``fixed`` — designs are baked per accelerator (the H2H comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """One configurable accelerator with attached off-chip DRAM."""
+
+    acc_id: int
+    name: str
+    dram_bytes: int
+    group: str
+
+    def __post_init__(self) -> None:
+        require(self.acc_id >= 0, f"acc_id must be >= 0, got {self.acc_id}")
+        require_positive(self.dram_bytes, "dram_bytes")
+
+
+@dataclass(frozen=True)
+class Link:
+    """A direct, symmetric accelerator-to-accelerator link."""
+
+    a: int
+    b: int
+    bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        require(self.a != self.b, f"self-link on accelerator {self.a}")
+        require_positive(self.bandwidth_bps, "bandwidth_bps")
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+
+@dataclass
+class SystemTopology:
+    """The multi-accelerator system graph.
+
+    Attributes:
+        name: Identifier used in reports.
+        accelerators: All accelerators, indexed by ``acc_id`` = position.
+        links: Direct links (symmetric; one entry per unordered pair).
+        host_bandwidth_bps: Per-accelerator bandwidth to host memory.
+        link_latency_s: Per-hop latency of a direct link.
+        host_latency_s: Per-hop latency of a host-side transfer.
+        kind: ``"adaptive"`` or ``"fixed"``.
+        fixed_designs: For ``fixed`` systems, design per accelerator.
+    """
+
+    name: str
+    accelerators: list[Accelerator]
+    links: list[Link]
+    host_bandwidth_bps: dict[int, float]
+    link_latency_s: float = 2e-6
+    host_latency_s: float = 10e-6
+    kind: str = "adaptive"
+    fixed_designs: dict[int, AcceleratorDesign] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require(bool(self.accelerators), "topology needs at least one accelerator")
+        require(
+            self.kind in ("adaptive", "fixed"),
+            f"kind must be 'adaptive' or 'fixed', got {self.kind!r}",
+        )
+        ids = [acc.acc_id for acc in self.accelerators]
+        require(
+            ids == list(range(len(ids))),
+            f"accelerator ids must be 0..n-1 in order, got {ids}",
+        )
+        self._link_by_key: dict[tuple[int, int], Link] = {}
+        for link in self.links:
+            require(
+                link.a < len(ids) and link.b < len(ids),
+                f"link {link.key} references unknown accelerator",
+            )
+            require(
+                link.key not in self._link_by_key,
+                f"duplicate link {link.key}",
+            )
+            self._link_by_key[link.key] = link
+        for acc in self.accelerators:
+            require(
+                acc.acc_id in self.host_bandwidth_bps,
+                f"accelerator {acc.acc_id} has no host bandwidth",
+            )
+        if self.kind == "fixed":
+            for acc in self.accelerators:
+                require(
+                    acc.acc_id in self.fixed_designs,
+                    f"fixed system lacks a design for accelerator {acc.acc_id}",
+                )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_accelerators(self) -> int:
+        return len(self.accelerators)
+
+    def accelerator(self, acc_id: int) -> Accelerator:
+        return self.accelerators[acc_id]
+
+    def groups(self) -> dict[str, list[int]]:
+        """Accelerator ids per group, in id order."""
+        result: dict[str, list[int]] = {}
+        for acc in self.accelerators:
+            result.setdefault(acc.group, []).append(acc.acc_id)
+        return result
+
+    def design_of(self, acc_id: int) -> AcceleratorDesign:
+        """The fixed design of an accelerator (fixed systems only)."""
+        require(
+            self.kind == "fixed",
+            "design_of() is only defined for fixed-design systems",
+        )
+        return self.fixed_designs[acc_id]
+
+    # ------------------------------------------------------------------
+    # Connectivity and bandwidth
+    # ------------------------------------------------------------------
+
+    def direct_bandwidth(self, a: int, b: int) -> float | None:
+        """Bandwidth of the direct link between ``a`` and ``b``, if any."""
+        key = (min(a, b), max(a, b))
+        link = self._link_by_key.get(key)
+        return link.bandwidth_bps if link else None
+
+    def host_bandwidth(self, acc_id: int) -> float:
+        return self.host_bandwidth_bps[acc_id]
+
+    def effective_bandwidth(self, a: int, b: int) -> float:
+        """End-to-end bandwidth between two accelerators.
+
+        Directly linked pairs use the link. Pairs without a direct link
+        stage traffic through host memory (store-and-forward: DMA up to
+        host DRAM, then DMA down), so a message of S bytes costs two
+        serializations — an effective rate of half the slower host link.
+        """
+        require(a != b, f"no transfer between an accelerator and itself ({a})")
+        direct = self.direct_bandwidth(a, b)
+        if direct is not None:
+            return direct
+        return min(self.host_bandwidth(a), self.host_bandwidth(b)) / 2
+
+    def path_latency(self, a: int, b: int) -> float:
+        """Per-message latency between two accelerators."""
+        if self.direct_bandwidth(a, b) is not None:
+            return self.link_latency_s
+        return 2 * self.host_latency_s  # up to host, back down
+
+    def is_direct(self, a: int, b: int) -> bool:
+        return self.direct_bandwidth(a, b) is not None
+
+    def min_bandwidth_within(self, acc_ids: tuple[int, ...]) -> float:
+        """Bottleneck pairwise bandwidth inside a candidate accelerator set.
+
+        Collectives inside a set are limited by the slowest pairwise
+        path; singleton sets communicate only with themselves, reported
+        as the host bandwidth for memory-spill estimates.
+        """
+        require(bool(acc_ids), "empty accelerator set")
+        if len(acc_ids) == 1:
+            return self.host_bandwidth(acc_ids[0])
+        return min(
+            self.effective_bandwidth(a, b)
+            for i, a in enumerate(acc_ids)
+            for b in acc_ids[i + 1 :]
+        )
+
+    def max_latency_within(self, acc_ids: tuple[int, ...]) -> float:
+        """Worst per-hop latency inside a set (ring hops use neighbours)."""
+        if len(acc_ids) <= 1:
+            return 0.0
+        return max(
+            self.path_latency(a, b)
+            for i, a in enumerate(acc_ids)
+            for b in acc_ids[i + 1 :]
+        )
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+
+    def nx_graph(self) -> "nx.Graph":
+        """The weighted accelerator graph (host excluded) for heuristics."""
+        graph = nx.Graph()
+        graph.add_nodes_from(acc.acc_id for acc in self.accelerators)
+        for link in self.links:
+            graph.add_edge(link.a, link.b, bandwidth=link.bandwidth_bps)
+        return graph
+
+    def ascii_diagram(self) -> str:
+        """A small textual rendering of the topology (Fig. 1 style)."""
+        lines = [f"System {self.name!r} ({self.kind}):"]
+        for group, members in self.groups().items():
+            rendered = ", ".join(
+                f"Acc{m}" + (
+                    f"[{self.fixed_designs[m].name}]"
+                    if self.kind == "fixed"
+                    else ""
+                )
+                for m in members
+            )
+            lines.append(f"  {group}: {rendered}")
+        seen_bandwidths = sorted({l.bandwidth_bps for l in self.links})
+        for bw in seen_bandwidths:
+            pairs = [l.key for l in self.links if l.bandwidth_bps == bw]
+            lines.append(f"  links @ {bw / 1e9:.1f} Gbps: {pairs}")
+        host = sorted({bw for bw in self.host_bandwidth_bps.values()})
+        lines.append(
+            "  host links @ "
+            + ", ".join(f"{bw / 1e9:.1f} Gbps" for bw in host)
+        )
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the reproduction (GA populations, workload
+jitter, failure injection in tests) receives an explicit
+:class:`numpy.random.Generator`. These helpers centralize construction so
+experiments are reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from an integer seed.
+
+    ``None`` yields a nondeterministic generator; experiment runners
+    always pass an explicit seed.
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(parent: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``parent``.
+
+    Children are produced by drawing 64-bit seeds from the parent, which
+    keeps the whole tree reproducible from the root seed while letting
+    sub-searches (e.g. each second-level GA instance) own a private
+    stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

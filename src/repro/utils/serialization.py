@@ -1,0 +1,136 @@
+"""JSON (de)serialization of mapping decisions.
+
+A mapping found by an expensive search should be storable and
+re-loadable without re-running the GA — e.g. to deploy the same
+configuration later or to diff two searches. The schema is plain JSON:
+
+```json
+{
+  "workload": "vgg16",
+  "system": "f1_2x4",
+  "assignments": [
+    {"start": 0, "stop": 17, "accs": [0, 1, 2, 3],
+     "design": "Design 1 (SuperLIP)",
+     "strategies": {"conv1": {"es": ["H", "W"], "ss": null}}}
+  ]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.core.sharding import ParallelismStrategy
+from repro.dnn.graph import ComputationGraph
+from repro.dnn.layers import LoopDim
+from repro.system.topology import SystemTopology
+from repro.utils.validation import require
+
+_DIM_BY_VALUE = {dim.value: dim for dim in LoopDim}
+
+
+def strategy_to_dict(strategy: ParallelismStrategy) -> dict[str, Any]:
+    """Encode a strategy as ``{"es": [...], "ss": ...}`` with dim names."""
+    return {
+        "es": [dim.value for dim in strategy.canonical_es()],
+        "ss": strategy.ss.value if strategy.ss else None,
+    }
+
+
+def strategy_from_dict(data: dict[str, Any]) -> ParallelismStrategy:
+    """Inverse of :func:`strategy_to_dict`."""
+    es = tuple(_DIM_BY_VALUE[name] for name in data.get("es", []))
+    ss_name = data.get("ss")
+    ss = _DIM_BY_VALUE[ss_name] if ss_name else None
+    return ParallelismStrategy(es=es, ss=ss)
+
+
+def mapping_to_dict(mapping: Mapping) -> dict[str, Any]:
+    """Serialize a mapping decision (not the graph/topology themselves)."""
+    return {
+        "workload": mapping.graph.name,
+        "system": mapping.topology.name,
+        "assignments": [
+            {
+                "start": a.layer_range.start,
+                "stop": a.layer_range.stop,
+                "accs": list(a.acc_set.accs),
+                "design": a.design.name if a.design else None,
+                "strategies": {
+                    layer: strategy_to_dict(strategy)
+                    for layer, strategy in a.strategies.items()
+                },
+            }
+            for a in mapping.assignments
+        ],
+    }
+
+
+def mapping_from_dict(
+    data: dict[str, Any],
+    graph: ComputationGraph,
+    topology: SystemTopology,
+    designs: list[AcceleratorDesign],
+) -> Mapping:
+    """Rebuild a mapping against freshly constructed graph/topology.
+
+    Raises :class:`ValueError` when the stored decision does not match
+    the provided workload or system (the usual cause: the model zoo or
+    preset changed since the mapping was saved).
+    """
+    require(
+        data.get("workload") == graph.name,
+        f"mapping was saved for workload {data.get('workload')!r}, "
+        f"got {graph.name!r}",
+    )
+    require(
+        data.get("system") == topology.name,
+        f"mapping was saved for system {data.get('system')!r}, "
+        f"got {topology.name!r}",
+    )
+    by_name = {design.name: design for design in designs}
+    assignments = []
+    for item in data["assignments"]:
+        design = None
+        if item.get("design") is not None:
+            require(
+                item["design"] in by_name,
+                f"unknown design {item['design']!r} in stored mapping",
+            )
+            design = by_name[item["design"]]
+        assignments.append(
+            SetAssignment(
+                layer_range=LayerRange(item["start"], item["stop"]),
+                acc_set=AcceleratorSet(tuple(item["accs"])),
+                design=design,
+                strategies={
+                    layer: strategy_from_dict(s)
+                    for layer, s in item.get("strategies", {}).items()
+                },
+            )
+        )
+    return Mapping(graph=graph, topology=topology, assignments=assignments)
+
+
+def mapping_to_json(mapping: Mapping, indent: int = 2) -> str:
+    """Serialize :func:`mapping_to_dict` to a JSON string."""
+    return json.dumps(mapping_to_dict(mapping), indent=indent)
+
+
+def mapping_from_json(
+    text: str,
+    graph: ComputationGraph,
+    topology: SystemTopology,
+    designs: list[AcceleratorDesign],
+) -> Mapping:
+    """Parse JSON text and rebuild the mapping via :func:`mapping_from_dict`."""
+    return mapping_from_dict(json.loads(text), graph, topology, designs)

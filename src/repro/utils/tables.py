@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness reproduces the paper's tables on stdout; this
+module provides the single formatting routine they share.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Cells are stringified with :func:`str`; numeric alignment is not
+    attempted because the experiment runners pre-format numbers (e.g.
+    latencies in ms with fixed precision).
+    """
+    header_cells = [str(cell) for cell in headers]
+    body = [[str(cell) for cell in row] for row in rows]
+    for index, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(header_cells)}"
+            )
+
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

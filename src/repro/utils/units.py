@@ -1,0 +1,67 @@
+"""Unit constants and conversions used throughout the MARS reproduction.
+
+Conventions (chosen once, used everywhere):
+
+* **Bandwidth** is stored in *bits per second* because the paper quotes
+  link speeds in Gbps (8 Gbps intra-group, 2 Gbps to host, ...).
+* **Data sizes** are stored in *bytes*.
+* **Time** is stored in *seconds* (floats); report helpers convert to
+  the paper's milliseconds.
+* **Clock frequency** is stored in Hz.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: One gigabit per second, in bits/second.
+GBPS = 1_000_000_000
+
+#: One megahertz, in Hz.
+MHZ = 1_000_000
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth expressed in Gbps to bits/second."""
+    return value * GBPS
+
+
+def mhz(value: float) -> float:
+    """Convert a clock frequency expressed in MHz to Hz."""
+    return value * MHZ
+
+
+def transfer_seconds(nbytes: float, bandwidth_bps: float) -> float:
+    """Time to push ``nbytes`` through a link of ``bandwidth_bps`` bits/s.
+
+    Pure serialization time; per-hop latency is added by the network
+    model, not here.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {bandwidth_bps}")
+    return (nbytes * 8.0) / bandwidth_bps
+
+
+def bytes_to_human(nbytes: float) -> str:
+    """Render a byte count with a binary suffix (e.g. ``1.5 MiB``)."""
+    magnitude = abs(nbytes)
+    for suffix, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if magnitude >= scale:
+            return f"{nbytes / scale:.2f} {suffix}"
+    return f"{nbytes:.0f} B"
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a duration with an appropriate sub-second suffix."""
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"

@@ -1,0 +1,26 @@
+"""Small argument-validation helpers.
+
+The library is used as a search substrate, so invalid configurations
+should fail loudly at construction time rather than deep inside the GA
+inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import NoReturn
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        _fail(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        _fail(f"{name} must be > 0, got {value!r}")
+
+
+def _fail(message: str) -> NoReturn:
+    raise ValueError(message)

@@ -1,0 +1,259 @@
+"""Analytical design models: parameters, cycle counts, and the
+Section VI-B qualitative behaviours the mapping results depend on."""
+
+import pytest
+
+from repro.accelerators import (
+    cached_conv_cycles,
+    ceil_div,
+    design1_superlip,
+    design2_systolic,
+    design3_winograd,
+    design_by_name,
+    h2h_catalog,
+    table2_designs,
+)
+from repro.dnn.layers import Conv2d, ConvSpec, FeatureMap
+
+
+def _spec(cout, cin, hw, k, stride=1) -> ConvSpec:
+    return ConvSpec(
+        out_channels=cout,
+        in_channels=cin,
+        out_h=hw,
+        out_w=hw,
+        kernel_h=k,
+        kernel_w=k,
+        stride=stride,
+    )
+
+
+ALEXNET_CONV1 = Conv2d(out_channels=64, kernel=11, stride=4, padding=2).spec(
+    FeatureMap(3, 224, 224)
+)
+DEEP_3X3 = _spec(cout=512, cin=512, hw=14, k=3)
+BOTTLENECK_1X1 = _spec(cout=1024, cin=256, hw=14, k=1)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_unit_divisor(self):
+        assert ceil_div(7, 1) == 7
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestTable2Parameters:
+    def test_three_designs(self):
+        designs = table2_designs()
+        assert [d.name for d in designs] == [
+            "Design 1 (SuperLIP)",
+            "Design 2 (Systolic)",
+            "Design 3 (Winograd)",
+        ]
+
+    def test_uniform_200mhz(self):
+        for design in table2_designs():
+            assert design.frequency_hz == 200e6
+
+    def test_pe_counts_match_table2(self):
+        pes = [d.num_pes for d in table2_designs()]
+        assert pes == [438, 572, 576]
+
+    def test_design1_tile_parameters(self):
+        d1 = design1_superlip()
+        assert (d1.tm, d1.tn, d1.tr, d1.tc) == (64, 7, 7, 14)
+
+    def test_design2_array_parameters(self):
+        d2 = design2_systolic()
+        assert (d2.rows, d2.cols, d2.vec) == (11, 13, 8)
+
+    def test_design3_winograd_parameters(self):
+        d3 = design3_winograd()
+        assert (d3.tile, d3.pn, d3.pm) == (6, 2, 8)
+
+    def test_winograd_effective_pe_identity(self):
+        # 576 PEs = Pn * Pm * tile^2 effective MAC units.
+        d3 = design3_winograd()
+        assert d3.pn * d3.pm * d3.tile**2 == d3.num_pes
+
+
+class TestCycleModels:
+    def test_superlip_exact_formula(self):
+        d1 = design1_superlip()
+        spec = _spec(cout=64, cin=7, hw=7, k=3)
+        # Single tile in Cout/Cin/H, one column tile of 7 <= 14.
+        tiles = 1 * 1 * 1 * 1
+        expected = tiles * (7 * 14 * 9 + 7 + 14)
+        assert d1.conv_cycles(spec) == expected
+
+    def test_systolic_exact_formula(self):
+        d2 = design2_systolic()
+        spec = _spec(cout=13, cin=11, hw=8, k=1)
+        iterations = 1 * 1 * ceil_div(8, 4) * 8 * 1 * 1
+        assert d2.conv_cycles(spec) == iterations + 11 + 13
+
+    def test_winograd_exact_formula(self):
+        d3 = design3_winograd()
+        spec = _spec(cout=8, cin=2, hw=6, k=3)
+        # One tile, one channel group: 9 pipelined cycles + transform.
+        assert d3.conv_cycles(spec) == 1 * 1 * 9 + 2
+
+    def test_cycles_scale_with_channels(self):
+        for design in table2_designs():
+            small = design.conv_cycles(_spec(64, 64, 28, 3))
+            large = design.conv_cycles(_spec(128, 64, 28, 3))
+            assert large > small
+
+    def test_cycles_positive_for_all_designs(self):
+        for design in table2_designs() + h2h_catalog():
+            assert design.conv_cycles(ALEXNET_CONV1) > 0
+            assert design.conv_cycles(DEEP_3X3) > 0
+            assert design.conv_cycles(BOTTLENECK_1X1) > 0
+
+
+class TestSectionVIBehaviours:
+    """Qualitative behaviours the paper's mapping analysis relies on."""
+
+    def test_design1_wins_low_channel_stem(self):
+        """Tn=7 keeps utilization acceptable when Cin=3 (paper VI-B)."""
+        cycles = {d.name: d.conv_cycles(ALEXNET_CONV1) for d in table2_designs()}
+        assert min(cycles, key=cycles.get) == "Design 1 (SuperLIP)"
+
+    def test_design2_competitive_on_deep_3x3(self):
+        d2 = design2_systolic()
+        others = [design1_superlip(), design3_winograd()]
+        assert d2.conv_cycles(DEEP_3X3) <= min(
+            d.conv_cycles(DEEP_3X3) for d in others
+        )
+
+    def test_design3_useless_on_1x1(self):
+        """Winograd cannot handle 1x1 bottleneck convolutions (VI-B)."""
+        d3 = design3_winograd()
+        best_other = min(
+            d.conv_cycles(BOTTLENECK_1X1)
+            for d in (design1_superlip(), design2_systolic())
+        )
+        assert d3.conv_cycles(BOTTLENECK_1X1) > 5 * best_other
+
+    def test_design3_strong_on_large_3x3(self):
+        """Winograd leads on high-resolution 3x3 layers (VGG front)."""
+        spec = _spec(cout=64, cin=64, hw=224, k=3)
+        cycles = {d.name: d.conv_cycles(spec) for d in table2_designs()}
+        assert min(cycles, key=cycles.get) == "Design 3 (Winograd)"
+
+    def test_design1_stem_utilization_is_3_sevenths_ish(self):
+        util = design1_superlip().utilization(ALEXNET_CONV1)
+        assert 0.3 < util < 0.5
+
+    def test_design2_utilization_rises_with_depth(self):
+        d2 = design2_systolic()
+        early = d2.utilization(ALEXNET_CONV1)
+        deep = d2.utilization(_spec(512, 512, 28, 3))
+        assert deep > 2 * early
+
+    def test_peak_utilization_bounded(self):
+        for design in table2_designs():
+            for spec in (ALEXNET_CONV1, DEEP_3X3, BOTTLENECK_1X1):
+                assert 0.0 < design.utilization(spec) <= 1.1
+
+
+class TestLayerModel:
+    def test_elementwise_layer_cost_is_throughput_bound(self):
+        from repro.dnn import build_model
+
+        g = build_model("tiny_cnn")
+        relu = next(n for n in g.nodes() if n.kind == "activation")
+        d1 = design1_superlip()
+        assert d1.layer_cycles(relu) == ceil_div(relu.output_shape.numel, 438)
+
+    def test_input_layer_is_free(self):
+        from repro.dnn import build_model
+
+        g = build_model("tiny_cnn")
+        node = g.input_nodes()[0]
+        assert design1_superlip().layer_cycles(node) == 0
+
+    def test_conv_seconds_uses_frequency(self):
+        d1 = design1_superlip()
+        assert d1.conv_seconds(DEEP_3X3) == pytest.approx(
+            d1.conv_cycles(DEEP_3X3) / 200e6
+        )
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert design_by_name("Design 2 (Systolic)").num_pes == 572
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="SuperLIP"):
+            design_by_name("Design 9")
+
+    def test_h2h_catalog_is_heterogeneous(self):
+        kinds = {type(d).__name__ for d in h2h_catalog()}
+        assert len(kinds) == 2  # tiled and systolic variants
+
+    def test_h2h_catalog_peaks_are_comparable(self):
+        """No member may be an order of magnitude off the others, or the
+        stall-until-slowest rule would forbid mixed sets entirely."""
+        pes = [d.num_pes for d in h2h_catalog()]
+        assert max(pes) / min(pes) < 2.0
+
+    def test_h2h_designs_disagree_on_best_layer(self):
+        """The catalog must have real heterogeneity: different designs
+        win different layers, otherwise the H2H experiment is vacuous."""
+        specs = [
+            ALEXNET_CONV1,
+            DEEP_3X3,
+            BOTTLENECK_1X1,
+            _spec(64, 64, 112, 3),
+        ]
+        winners = set()
+        for spec in specs:
+            cycles = {d.name: d.conv_cycles(spec) for d in h2h_catalog()}
+            winners.add(min(cycles, key=cycles.get))
+        assert len(winners) >= 2
+
+
+class TestCachedCycles:
+    def test_cache_returns_same_value(self):
+        d1 = design1_superlip()
+        assert cached_conv_cycles(d1, DEEP_3X3) == d1.conv_cycles(DEEP_3X3)
+
+    def test_cache_hit_is_consistent_across_instances(self):
+        # Frozen dataclasses with equal fields hash equal, so a second
+        # instance reuses the cached entry.
+        a = cached_conv_cycles(design1_superlip(), DEEP_3X3)
+        b = cached_conv_cycles(design1_superlip(), DEEP_3X3)
+        assert a == b
+
+
+class TestValidation:
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            design1_superlip().__class__(
+                name="bad", frequency_hz=-1, num_pes=1, tm=1, tn=1, tr=1, tc=1
+            )
+
+    def test_odd_vec_rejected(self):
+        from repro.accelerators.systolic import SystolicDesign
+
+        with pytest.raises(ValueError):
+            SystolicDesign(
+                name="bad", frequency_hz=1, num_pes=1, rows=1, cols=1, vec=3
+            )
+
+    def test_zero_tile_rejected(self):
+        from repro.accelerators.winograd import WinogradDesign
+
+        with pytest.raises(ValueError):
+            WinogradDesign(
+                name="bad", frequency_hz=1, num_pes=1, tile=0, pn=1, pm=1
+            )

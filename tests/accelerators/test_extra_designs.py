@@ -1,0 +1,91 @@
+"""Catalog extension designs: row-stationary and ideal roofline."""
+
+import pytest
+
+from repro.accelerators.extra import (
+    IdealRooflineDesign,
+    RowStationaryDesign,
+    extended_catalog,
+    eyeriss_like,
+    ideal_roofline,
+)
+from repro.dnn.layers import ConvSpec
+
+
+def _spec(cout=64, cin=64, hw=28, k=3):
+    return ConvSpec(
+        out_channels=cout,
+        in_channels=cin,
+        out_h=hw,
+        out_w=hw,
+        kernel_h=k,
+        kernel_w=k,
+    )
+
+
+class TestRowStationary:
+    def test_3x3_beats_1x1_efficiency(self):
+        """Row-stationary resolves kernel rows spatially, so per-MAC
+        efficiency is best on tall kernels."""
+        design = eyeriss_like()
+        three = design.conv_cycles(_spec(k=3))
+        one = design.conv_cycles(_spec(k=1))
+        # 3x3 has 9x the MACs of 1x1 but costs only ~3x the cycles.
+        assert three < 4 * one
+
+    def test_cycles_positive_across_shapes(self):
+        design = eyeriss_like()
+        for spec in (_spec(), _spec(k=1), _spec(cout=3, cin=3, hw=7, k=5)):
+            assert design.conv_cycles(spec) > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RowStationaryDesign(
+                name="bad", frequency_hz=1, num_pes=1,
+                array_rows=0, array_cols=1, filters=1,
+            )
+
+
+class TestIdealRoofline:
+    def test_always_at_peak(self):
+        design = ideal_roofline(num_pes=512)
+        for spec in (_spec(), _spec(k=1), _spec(cout=7, cin=13, hw=9)):
+            util = design.utilization(spec)
+            assert util == pytest.approx(1.0, rel=0.02)
+
+    def test_cycles_are_macs_over_pes(self):
+        design = ideal_roofline(num_pes=100)
+        spec = _spec()
+        assert design.conv_cycles(spec) == -(-spec.macs // 100)
+
+
+class TestExtendedCatalog:
+    def test_contains_table2_plus_extras(self):
+        catalog = extended_catalog()
+        names = [d.name for d in catalog]
+        assert len(catalog) == 5
+        assert "Design 1 (SuperLIP)" in names
+        assert any("row-stationary" in n for n in names)
+        assert any("roofline" in n for n in names)
+
+    def test_ideal_design_dominates_searches(self):
+        """With an oblivious peak design available, the mapper should
+        use it — a control experiment for design-selection logic."""
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+        from repro.dnn import build_model
+        from repro.system import f1_16xlarge
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=6, generations=4, elite_count=1),
+            level2=GAConfig(population_size=6, generations=4, elite_count=1),
+        )
+        catalog = extended_catalog()
+        result = Mars(
+            build_model("tiny_cnn"),
+            f1_16xlarge(),
+            designs=catalog,
+            budget=budget,
+        ).search(seed=0)
+        used = {a.design.name for a in result.mapping.assignments}
+        assert any("roofline" in name for name in used)

@@ -1,0 +1,55 @@
+"""Workload profiling: the pre-search step that seeds the level-1 GA."""
+
+import pytest
+
+from repro.accelerators import profile_designs, table2_designs
+from repro.dnn import build_model
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return profile_designs(build_model("vgg16"), table2_designs())
+
+
+class TestProfileShape:
+    def test_one_profile_per_compute_layer(self, vgg_profile):
+        # VGG16: 13 convs + 3 FCs.
+        assert len(vgg_profile.layers) == 16
+
+    def test_totals_are_sum_of_layers(self, vgg_profile):
+        for name, total in vgg_profile.total_cycles.items():
+            assert total == sum(l.cycles[name] for l in vgg_profile.layers)
+
+    def test_every_layer_costed_on_every_design(self, vgg_profile):
+        names = {d.name for d in table2_designs()}
+        for layer in vgg_profile.layers:
+            assert set(layer.cycles) == names
+            assert set(layer.utilization) == names
+
+
+class TestNormalizedScores:
+    def test_scores_in_unit_interval(self, vgg_profile):
+        scores = vgg_profile.normalized_scores()
+        assert all(0 < s <= 1 for s in scores.values())
+
+    def test_best_design_scores_one(self, vgg_profile):
+        scores = vgg_profile.normalized_scores()
+        assert max(scores.values()) == pytest.approx(1.0)
+
+
+class TestWins:
+    def test_wins_sum_to_layer_count(self, vgg_profile):
+        assert sum(vgg_profile.wins_per_design().values()) == len(
+            vgg_profile.layers
+        )
+
+    def test_best_design_is_argmin(self, vgg_profile):
+        layer = vgg_profile.layers[0]
+        best = layer.best_design()
+        assert layer.cycles[best] == min(layer.cycles.values())
+
+
+class TestErrors:
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            profile_designs(build_model("tiny_cnn"), [])

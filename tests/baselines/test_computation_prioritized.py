@@ -1,0 +1,107 @@
+"""The Section VI-A baseline: structure and behaviour."""
+
+import pytest
+
+from repro.accelerators import table2_designs
+from repro.core.baselines import computation_prioritized_mapping
+from repro.core.sharding import NO_PARALLELISM
+from repro.core.strategy_space import longest_dims_strategy
+from repro.dnn import build_model
+from repro.system import f1_16xlarge, h2h_fixed_system
+
+
+@pytest.fixture(scope="module")
+def result():
+    return computation_prioritized_mapping(
+        build_model("alexnet"), f1_16xlarge(), table2_designs()
+    )
+
+
+class TestStructure:
+    def test_exactly_two_sets(self, result):
+        assert len(result.mapping.assignments) == 2
+
+    def test_sets_are_the_two_groups(self, result):
+        accs = [a.acc_set.accs for a in result.mapping.assignments]
+        assert accs == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_layers_split_roughly_in_half(self, result):
+        graph = result.mapping.graph
+        convs_per_set = []
+        for assignment in result.mapping.assignments:
+            nodes = result.mapping.nodes_of(assignment)
+            convs_per_set.append(sum(1 for n in nodes if n.is_compute))
+        total = sum(convs_per_set)
+        assert abs(convs_per_set[0] - total / 2) <= 1
+
+    def test_designs_chosen_by_compute_latency(self, result):
+        """Each set's design is the argmin of summed compute cycles."""
+        from repro.accelerators import cached_conv_cycles, table2_designs
+
+        for assignment in result.mapping.assignments:
+            nodes = result.mapping.nodes_of(assignment)
+            totals = {}
+            for design in table2_designs():
+                totals[design.name] = sum(
+                    cached_conv_cycles(design, n.conv_spec())
+                    / design.frequency_hz
+                    for n in nodes
+                    if n.is_compute
+                )
+            assert assignment.design.name == min(totals, key=totals.get)
+
+    def test_longest_two_dims_strategy(self, result):
+        mapping = result.mapping
+        for assignment in mapping.assignments:
+            for node in mapping.nodes_of(assignment):
+                if not node.is_compute:
+                    continue
+                strategy = assignment.strategies[node.name]
+                if strategy == NO_PARALLELISM:
+                    continue
+                expected = longest_dims_strategy(
+                    node.conv_spec(), len(strategy.es)
+                )
+                assert strategy == expected
+
+    def test_no_ss_in_baseline(self, result):
+        for assignment in result.mapping.assignments:
+            for strategy in assignment.strategies.values():
+                assert strategy.ss is None
+
+
+class TestEvaluation:
+    def test_feasible(self, result):
+        assert result.evaluation.feasible
+
+    def test_latency_positive(self, result):
+        assert result.latency_ms > 0
+
+    def test_describe_renders(self, result):
+        text = result.describe()
+        assert "Design" in text and "->" in text
+
+
+class TestErrors:
+    def test_fixed_system_rejected(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            computation_prioritized_mapping(
+                build_model("tiny_cnn"), h2h_fixed_system(2.0), table2_designs()
+            )
+
+    def test_single_group_system_rejected(self):
+        single_group = f1_16xlarge(num_groups=1)
+        with pytest.raises(ValueError, match="group"):
+            computation_prioritized_mapping(
+                build_model("tiny_cnn"), single_group, table2_designs()
+            )
+
+
+class TestAcrossModels:
+    @pytest.mark.parametrize("name", ["tiny_cnn", "tiny_resnet", "alexnet"])
+    def test_baseline_runs_on_model(self, name):
+        result = computation_prioritized_mapping(
+            build_model(name), f1_16xlarge(), table2_designs()
+        )
+        assert result.latency_ms > 0
+        assert result.evaluation.feasible

@@ -1,0 +1,100 @@
+"""The H2H-style DP mapper: optimality, constraints, behaviour."""
+
+import pytest
+
+from repro.core import EvaluatorOptions
+from repro.core.baselines import h2h_mapping
+from repro.dnn import build_model
+from repro.system import f1_16xlarge, h2h_fixed_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return h2h_fixed_system(2.0)
+
+
+@pytest.fixture(scope="module")
+def result(system):
+    return h2h_mapping(build_model("tiny_resnet"), system)
+
+
+class TestStructure:
+    def test_all_sets_are_singletons(self, result):
+        """H2H's defining limitation: no intra-layer parallelism."""
+        for assignment in result.mapping.assignments:
+            assert assignment.acc_set.size == 1
+
+    def test_no_strategies_assigned(self, result):
+        for assignment in result.mapping.assignments:
+            assert assignment.strategies == {}
+
+    def test_distinct_accelerators(self, result):
+        used = [a.acc_set.accs[0] for a in result.mapping.assignments]
+        assert len(used) == len(set(used))
+
+    def test_contiguous_coverage(self, result):
+        ranges = [a.layer_range for a in result.mapping.assignments]
+        assert ranges[0].start == 0
+        for prev, nxt in zip(ranges, ranges[1:]):
+            assert prev.stop == nxt.start
+
+
+class TestOptimality:
+    def test_beats_every_single_accelerator(self, system):
+        """The DP must be at least as good as any 1-segment mapping."""
+        graph = build_model("tiny_resnet")
+        best = h2h_mapping(graph, system)
+        single = h2h_mapping(graph, system, max_segments=1)
+        assert best.latency_ms <= single.latency_ms + 1e-9
+
+    def test_picks_the_best_single_accelerator_when_forced(self, system):
+        graph = build_model("tiny_cnn")
+        forced = h2h_mapping(graph, system, max_segments=1)
+        # One segment -> the accelerator with the lowest total compute.
+        assert len(forced.mapping.assignments) == 1
+
+    def test_deterministic(self, system):
+        graph = build_model("tiny_resnet")
+        a = h2h_mapping(graph, system)
+        b = h2h_mapping(graph, system)
+        assert a.latency_ms == b.latency_ms
+        assert a.describe() == b.describe()
+
+
+class TestBandwidthSensitivity:
+    def test_latency_never_rises_with_bandwidth(self):
+        graph = build_model("casia_surf")
+        opts = EvaluatorOptions(weights_resident=False)
+        latencies = [
+            h2h_mapping(graph, h2h_fixed_system(bw), options=opts).latency_ms
+            for bw in (1.0, 2.0, 10.0)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_weight_streaming_dominates_at_low_bandwidth(self):
+        graph = build_model("casia_surf")
+        resident = h2h_mapping(
+            graph,
+            h2h_fixed_system(1.0),
+            options=EvaluatorOptions(weights_resident=True),
+        )
+        streaming = h2h_mapping(
+            graph,
+            h2h_fixed_system(1.0),
+            options=EvaluatorOptions(weights_resident=False),
+        )
+        assert streaming.latency_ms > 2 * resident.latency_ms
+
+
+class TestErrors:
+    def test_adaptive_system_rejected(self):
+        with pytest.raises(ValueError, match="fixed"):
+            h2h_mapping(build_model("tiny_cnn"), f1_16xlarge())
+
+
+class TestHeterogeneousModels:
+    @pytest.mark.parametrize("name", ["casia_surf", "facebagnet"])
+    def test_multi_branch_models_map(self, name):
+        result = h2h_mapping(build_model(name), h2h_fixed_system(4.0))
+        assert result.latency_ms > 0
+        assert result.evaluation.feasible

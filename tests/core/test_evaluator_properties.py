@@ -1,0 +1,124 @@
+"""Property-based invariants of the latency oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerators import design1_superlip, design2_systolic
+from repro.core.evaluator import EvaluatorOptions, MappingEvaluator
+from repro.core.sharding import ParallelismStrategy, make_sharding_plan
+from repro.dnn import build_model
+from repro.dnn.layers import LOOP_DIMS
+from repro.system import f1_16xlarge
+
+GRAPH = build_model("tiny_cnn")
+TOPOLOGY = f1_16xlarge()
+EVALUATOR = MappingEvaluator(GRAPH, TOPOLOGY)
+
+_dim = st.sampled_from(LOOP_DIMS)
+_strategy = st.builds(
+    lambda es, ss: ParallelismStrategy(
+        es=tuple(sorted(es, key=LOOP_DIMS.index)),
+        ss=ss if ss not in es else None,
+    ),
+    es=st.sets(_dim, max_size=2),
+    ss=st.one_of(st.none(), _dim),
+)
+
+
+@st.composite
+def _strategy_map(draw):
+    return {
+        node.name: draw(_strategy) for node in GRAPH.compute_nodes()
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(strategies=_strategy_map(), accs=st.sampled_from([(0,), (0, 1), (0, 1, 2, 3)]))
+def test_latency_is_positive_and_finite_structure(strategies, accs):
+    """Any (strategy, set) combination yields a defined evaluation."""
+    result = EVALUATOR.evaluate_set(
+        GRAPH.nodes(), accs, design1_superlip(), strategies
+    )
+    assert result.latency_seconds > 0
+    assert result.compute_seconds >= 0
+    assert result.comm_seconds >= 0
+    assert len(result.layer_costs) == len(GRAPH)
+
+
+@settings(max_examples=30, deadline=None)
+@given(strategies=_strategy_map())
+def test_latency_at_least_compute(strategies):
+    result = EVALUATOR.evaluate_set(
+        GRAPH.nodes(), (0, 1), design1_superlip(), strategies
+    )
+    assert result.latency_seconds >= result.compute_seconds
+
+
+@settings(max_examples=30, deadline=None)
+@given(strategies=_strategy_map())
+def test_feasible_evaluations_fit_memory(strategies):
+    result = EVALUATOR.evaluate_set(
+        GRAPH.nodes(), (0, 1, 2, 3), design2_systolic(), strategies
+    )
+    if result.feasible:
+        assert result.memory.fits
+
+
+@settings(max_examples=25, deadline=None)
+@given(strategies=_strategy_map())
+def test_streaming_never_faster_than_resident(strategies):
+    """Charging weight loads can only add latency."""
+    resident = MappingEvaluator(
+        GRAPH, TOPOLOGY, EvaluatorOptions(weights_resident=True)
+    ).evaluate_set(GRAPH.nodes(), (0, 1), design1_superlip(), strategies)
+    streaming = MappingEvaluator(
+        GRAPH, TOPOLOGY, EvaluatorOptions(weights_resident=False)
+    ).evaluate_set(GRAPH.nodes(), (0, 1), design1_superlip(), strategies)
+    assert streaming.latency_seconds >= resident.latency_seconds
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    strategy=_strategy,
+    parallelism=st.sampled_from([1, 2, 4, 8]),
+)
+def test_plan_feasibility_matches_cost_validity(strategy, parallelism):
+    """A layer cost is penalized exactly when its plan is infeasible."""
+    node = GRAPH.compute_nodes()[0]
+    plan = make_sharding_plan(node.conv_spec(), strategy, parallelism)
+    result = EVALUATOR.evaluate_set(
+        [node],
+        tuple(range(parallelism)),
+        design1_superlip(),
+        {node.name: strategy},
+    )
+    if plan is None:
+        assert not result.feasible
+    else:
+        assert result.feasible
+
+
+class TestDisablingCostTerms:
+    """Failure injection: each cost term can be isolated."""
+
+    def _latency(self, **overrides):
+        options = EvaluatorOptions(**overrides)
+        evaluator = MappingEvaluator(GRAPH, TOPOLOGY, options)
+        strategies = {
+            n.name: ParallelismStrategy(es=(LOOP_DIMS[2],))  # ES = {H}
+            for n in GRAPH.compute_nodes()
+        }
+        return evaluator.evaluate_set(
+            GRAPH.nodes(), (0, 1), design1_superlip(), strategies
+        ).latency_seconds
+
+    def test_halo_term_is_additive(self):
+        assert self._latency(include_halo=True) >= self._latency(
+            include_halo=False
+        )
+
+    def test_resharding_term_is_additive(self):
+        assert self._latency(include_resharding=True) >= self._latency(
+            include_resharding=False
+        )

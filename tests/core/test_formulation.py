@@ -1,0 +1,180 @@
+"""Table I formulation objects: validation and reporting."""
+
+import pytest
+
+from repro.accelerators import design1_superlip, design2_systolic
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.core.sharding import ParallelismStrategy
+from repro.dnn import build_model
+from repro.dnn.layers import LoopDim
+from repro.system import f1_16xlarge
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_model("tiny_cnn")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return f1_16xlarge()
+
+
+def _two_set_mapping(graph, topology):
+    n = len(graph)
+    cut = n // 2
+    return Mapping(
+        graph=graph,
+        topology=topology,
+        assignments=[
+            SetAssignment(
+                layer_range=LayerRange(0, cut),
+                acc_set=AcceleratorSet((0, 1, 2, 3)),
+                design=design1_superlip(),
+            ),
+            SetAssignment(
+                layer_range=LayerRange(cut, n),
+                acc_set=AcceleratorSet((4, 5, 6, 7)),
+                design=design2_systolic(),
+            ),
+        ],
+    )
+
+
+class TestAcceleratorSet:
+    def test_sorted_unique_required(self):
+        with pytest.raises(ValueError):
+            AcceleratorSet((2, 1))
+        with pytest.raises(ValueError):
+            AcceleratorSet((1, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorSet(())
+
+    def test_str(self):
+        assert str(AcceleratorSet((0, 3))) == "{Acc0, Acc3}"
+
+
+class TestLayerRange:
+    def test_contains(self):
+        rng = LayerRange(2, 5)
+        assert 2 in rng and 4 in rng and 5 not in rng
+
+    def test_len(self):
+        assert len(LayerRange(2, 5)) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LayerRange(3, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LayerRange(-1, 2)
+
+
+class TestMappingValidation:
+    def test_valid_two_set_mapping(self, graph, topology):
+        mapping = _two_set_mapping(graph, topology)
+        assert len(mapping.assignments) == 2
+
+    def test_gap_in_coverage_rejected(self, graph, topology):
+        with pytest.raises(ValueError, match="contiguous"):
+            Mapping(
+                graph=graph,
+                topology=topology,
+                assignments=[
+                    SetAssignment(
+                        LayerRange(0, 2), AcceleratorSet((0,)), design1_superlip()
+                    ),
+                    SetAssignment(
+                        LayerRange(3, len(graph)),
+                        AcceleratorSet((1,)),
+                        design1_superlip(),
+                    ),
+                ],
+            )
+
+    def test_partial_coverage_rejected(self, graph, topology):
+        with pytest.raises(ValueError, match="cover"):
+            Mapping(
+                graph=graph,
+                topology=topology,
+                assignments=[
+                    SetAssignment(
+                        LayerRange(0, 2), AcceleratorSet((0,)), design1_superlip()
+                    )
+                ],
+            )
+
+    def test_overlapping_accelerators_rejected(self, graph, topology):
+        n = len(graph)
+        with pytest.raises(ValueError, match="multiple sets"):
+            Mapping(
+                graph=graph,
+                topology=topology,
+                assignments=[
+                    SetAssignment(
+                        LayerRange(0, 2), AcceleratorSet((0, 1)), design1_superlip()
+                    ),
+                    SetAssignment(
+                        LayerRange(2, n), AcceleratorSet((1, 2)), design1_superlip()
+                    ),
+                ],
+            )
+
+    def test_adaptive_requires_design(self, graph, topology):
+        with pytest.raises(ValueError, match="design"):
+            Mapping(
+                graph=graph,
+                topology=topology,
+                assignments=[
+                    SetAssignment(
+                        LayerRange(0, len(graph)), AcceleratorSet((0,)), None
+                    )
+                ],
+            )
+
+
+class TestMappingQueries:
+    def test_assignment_of(self, graph, topology):
+        mapping = _two_set_mapping(graph, topology)
+        assert mapping.assignment_of(0) is mapping.assignments[0]
+        assert mapping.assignment_of(len(graph) - 1) is mapping.assignments[1]
+
+    def test_assignment_of_out_of_range(self, graph, topology):
+        mapping = _two_set_mapping(graph, topology)
+        with pytest.raises(IndexError):
+            mapping.assignment_of(len(graph))
+
+    def test_nodes_of(self, graph, topology):
+        mapping = _two_set_mapping(graph, topology)
+        nodes = mapping.nodes_of(mapping.assignments[0])
+        assert [n.name for n in nodes] == graph.topological_order()[: len(nodes)]
+
+    def test_boundary_edges_cross_the_cut(self, graph, topology):
+        mapping = _two_set_mapping(graph, topology)
+        crossings = mapping.boundary_edges()
+        assert len(crossings) >= 1
+        order = graph.topological_order()
+        position = {n: i for i, n in enumerate(order)}
+        cut = mapping.assignments[0].layer_range.stop
+        for src, dst in crossings:
+            assert position[src] < cut <= position[dst]
+
+
+class TestDescribe:
+    def test_table3_style_rendering(self, graph, topology):
+        mapping = _two_set_mapping(graph, topology)
+        mapping.assignments[0].strategies["conv1"] = ParallelismStrategy(
+            es=(LoopDim.H, LoopDim.W)
+        )
+        text = mapping.describe()
+        assert "4xDesign 1 (SuperLIP)" in text
+        assert "ES = {H, W}" in text
+        assert "->" in text

@@ -1,0 +1,67 @@
+"""The throughput search objective (extension)."""
+
+import pytest
+
+from repro.core.ga import GAConfig, SearchBudget
+from repro.core.mapper import Mars
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+QUICK = SearchBudget(
+    level1=GAConfig(population_size=8, generations=5, elite_count=1, patience=4),
+    level2=GAConfig(population_size=8, generations=5, elite_count=1, patience=3),
+)
+
+
+class TestThroughputObjective:
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            Mars(
+                build_model("tiny_cnn"),
+                f1_16xlarge(),
+                budget=QUICK,
+                objective="energy",
+            ).search(seed=0)
+
+    def test_throughput_search_runs(self):
+        result = Mars(
+            build_model("tiny_cnn"),
+            f1_16xlarge(),
+            budget=QUICK,
+            objective="throughput",
+        ).search(seed=0)
+        assert result.evaluation.pipeline_interval_seconds > 0
+        assert result.feasible
+
+    def test_throughput_objective_not_worse_at_its_own_game(self):
+        graph = build_model("vgg16")
+        topology = f1_16xlarge()
+        latency_opt = Mars(
+            graph, topology, budget=QUICK, objective="latency"
+        ).search(seed=0)
+        throughput_opt = Mars(
+            graph, topology, budget=QUICK, objective="throughput"
+        ).search(seed=0)
+        assert (
+            throughput_opt.evaluation.pipeline_interval_seconds
+            <= latency_opt.evaluation.pipeline_interval_seconds * 1.001
+        )
+
+    def test_objectives_land_in_the_same_ballpark(self):
+        """Both objectives explore the same space; under a small budget
+        neither should wander off by an order of magnitude on the
+        other's metric (the searches are stochastic, so no strict
+        dominance can be asserted here)."""
+        graph = build_model("tiny_resnet")
+        topology = f1_16xlarge()
+        latency_opt = Mars(
+            graph, topology, budget=QUICK, objective="latency"
+        ).search(seed=0)
+        throughput_opt = Mars(
+            graph, topology, budget=QUICK, objective="throughput"
+        ).search(seed=0)
+        assert latency_opt.latency_ms <= throughput_opt.latency_ms * 3
+        assert (
+            throughput_opt.evaluation.pipeline_interval_seconds
+            <= latency_opt.evaluation.pipeline_interval_seconds * 3
+        )

@@ -1,0 +1,90 @@
+"""The pipeline-throughput extension metric."""
+
+import pytest
+
+from repro.accelerators import design1_superlip, design2_systolic
+from repro.core import MappingEvaluator
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_model("tiny_cnn")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return f1_16xlarge()
+
+
+def _mapping(graph, topology, num_sets):
+    n = len(graph)
+    if num_sets == 1:
+        assignments = [
+            SetAssignment(
+                LayerRange(0, n), AcceleratorSet((0, 1, 2, 3)), design1_superlip()
+            )
+        ]
+    else:
+        assignments = [
+            SetAssignment(
+                LayerRange(0, n // 2),
+                AcceleratorSet((0, 1, 2, 3)),
+                design1_superlip(),
+            ),
+            SetAssignment(
+                LayerRange(n // 2, n),
+                AcceleratorSet((4, 5, 6, 7)),
+                design2_systolic(),
+            ),
+        ]
+    return Mapping(graph=graph, topology=topology, assignments=assignments)
+
+
+class TestPipelineInterval:
+    def test_interval_no_larger_than_latency(self, graph, topology):
+        evaluator = MappingEvaluator(graph, topology)
+        result = evaluator.evaluate_mapping(_mapping(graph, topology, 2))
+        assert result.pipeline_interval_seconds <= result.latency_seconds
+
+    def test_single_set_interval_is_set_latency(self, graph, topology):
+        evaluator = MappingEvaluator(graph, topology)
+        result = evaluator.evaluate_mapping(_mapping(graph, topology, 1))
+        assert result.pipeline_interval_seconds == pytest.approx(
+            max(
+                result.set_evaluations[0].latency_seconds,
+                result.host_input_seconds,
+            )
+        )
+
+    def test_two_stage_pipeline_beats_sequential_throughput(self, graph, topology):
+        """Splitting into stages helps throughput even when it hurts
+        latency — the trade-off the extension metric exposes."""
+        evaluator = MappingEvaluator(graph, topology)
+        one = evaluator.evaluate_mapping(_mapping(graph, topology, 1))
+        two = evaluator.evaluate_mapping(_mapping(graph, topology, 2))
+        assert (
+            two.pipeline_throughput_per_second
+            > 0.5 * one.pipeline_throughput_per_second
+        )
+
+    def test_throughput_is_reciprocal(self, graph, topology):
+        evaluator = MappingEvaluator(graph, topology)
+        result = evaluator.evaluate_mapping(_mapping(graph, topology, 2))
+        assert result.pipeline_throughput_per_second == pytest.approx(
+            1.0 / result.pipeline_interval_seconds
+        )
+
+    def test_transfer_breakdown_sums_to_total(self, graph, topology):
+        evaluator = MappingEvaluator(graph, topology)
+        result = evaluator.evaluate_mapping(_mapping(graph, topology, 2))
+        assert sum(result.transfer_breakdown) == pytest.approx(
+            result.transfer_seconds
+        )

@@ -1,0 +1,94 @@
+"""Strategy-space enumeration must reproduce Section IV's counts."""
+
+import pytest
+
+from repro.core.strategy_space import (
+    enumerate_strategies,
+    feasible_strategies,
+    longest_dims_strategy,
+    paper_strategy_counts,
+)
+from repro.dnn.layers import ConvSpec, LoopDim
+
+
+def _spec(cout=64, cin=32, h=28, w=28, k=3):
+    return ConvSpec(
+        out_channels=cout,
+        in_channels=cin,
+        out_h=h,
+        out_w=w,
+        kernel_h=k,
+        kernel_w=k,
+    )
+
+
+class TestEnumeration:
+    def test_paper_counts(self):
+        counts = paper_strategy_counts()
+        assert counts["es_two_dims"] == 15  # C(6,2)
+        assert counts["paper_quoted_with_ss"] == 90  # C(6,2) * 6
+        assert counts["distinct_valid_with_ss"] == 60  # SS not in ES
+
+    def test_total_strategy_count(self):
+        # |ES| in {0,1,2} with optional SS not in ES:
+        # 1*7 + 6*6 + 15*5 = 118.
+        assert len(enumerate_strategies()) == 118
+
+    def test_no_ss_variant(self):
+        assert len(enumerate_strategies(allow_ss=False)) == 22
+
+    def test_deterministic_order(self):
+        assert enumerate_strategies() == enumerate_strategies()
+
+    def test_no_duplicates(self):
+        strategies = enumerate_strategies()
+        assert len(set(strategies)) == len(strategies)
+
+
+class TestFeasibility:
+    def test_p2_collapses_two_dim_es(self):
+        feasible = feasible_strategies(_spec(), parallelism=2)
+        # Two accelerators cannot host a 2-D grid: 2-dim ES degenerates
+        # (one dim gets degree 1) and is deduplicated away, leaving
+        # |ES| = 0 (1 + 6 SS) and |ES| = 1 (6 * (1 + 5 SS)) = 43.
+        assert len(feasible) == 43
+        assert all(len(s.es) <= 1 for s in feasible)
+
+    def test_p4_supports_balanced_grids(self):
+        feasible = feasible_strategies(_spec(), parallelism=4)
+        assert any(len(s.es) == 2 for s in feasible)
+
+    def test_kernel_dims_infeasible_at_p8(self):
+        feasible = feasible_strategies(_spec(k=3), parallelism=8)
+        assert all(
+            LoopDim.KH not in (s.ss,) and LoopDim.KW not in (s.ss,)
+            for s in feasible
+            if s.ss is not None
+        )
+
+    def test_1x1_conv_restricts_kernel_strategies(self):
+        feasible = feasible_strategies(_spec(k=1), parallelism=4)
+        for s in feasible:
+            assert LoopDim.KH not in s.es and LoopDim.KW not in s.es
+
+    def test_parallelism_one_everything_feasible(self):
+        assert len(feasible_strategies(_spec(), parallelism=1)) == 118
+
+
+class TestLongestDims:
+    def test_early_layer_prefers_spatial(self):
+        # 224x224x3 stem: H and W dominate.
+        s = longest_dims_strategy(_spec(cout=64, cin=3, h=224, w=224, k=7))
+        assert set(s.es) == {LoopDim.H, LoopDim.W}
+
+    def test_late_layer_prefers_channels(self):
+        s = longest_dims_strategy(_spec(cout=2048, cin=1024, h=7, w=7, k=1))
+        assert set(s.es) == {LoopDim.COUT, LoopDim.CIN}
+
+    def test_single_dim_variant(self):
+        s = longest_dims_strategy(_spec(cout=512, cin=8, h=14, w=14), count=1)
+        assert s.es == (LoopDim.COUT,)
+
+    def test_no_ss_in_baseline_rule(self):
+        s = longest_dims_strategy(_spec())
+        assert s.ss is None

@@ -1,0 +1,118 @@
+"""Generic GA engine: operators, convergence, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.ga import GAConfig, GeneticAlgorithm
+from repro.utils import make_rng
+
+
+def _sphere(genome: np.ndarray) -> float:
+    """Minimum 0 at genome = 0.5 everywhere."""
+    return float(np.sum((genome - 0.5) ** 2))
+
+
+def _run(seed=0, **overrides):
+    config = GAConfig(
+        population_size=overrides.pop("population_size", 20),
+        generations=overrides.pop("generations", 25),
+        **overrides,
+    )
+    ga = GeneticAlgorithm(
+        genome_length=6,
+        fitness=_sphere,
+        config=config,
+        rng=make_rng(seed),
+    )
+    return ga.run()
+
+
+class TestConfigValidation:
+    def test_zero_population_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=0)
+
+    def test_crossover_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            GAConfig(crossover_rate=1.5)
+
+    def test_elite_must_be_smaller_than_population(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=4, elite_count=4)
+
+    def test_tournament_bounded_by_population(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=4, tournament_size=10)
+
+
+class TestConvergence:
+    def test_improves_over_random(self):
+        result = _run()
+        initial = result.history[0]
+        assert result.best_fitness < initial
+
+    def test_finds_near_optimum_on_sphere(self):
+        result = _run(generations=40, population_size=30)
+        assert result.best_fitness < 0.05
+
+    def test_history_monotone_nonincreasing(self):
+        result = _run()
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_elitism_never_loses_best(self):
+        result = _run(elite_count=2)
+        assert result.best_fitness == min(result.history)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = _run(seed=7)
+        b = _run(seed=7)
+        assert a.best_fitness == b.best_fitness
+        assert np.array_equal(a.best_genome, b.best_genome)
+
+    def test_different_seeds_explore_differently(self):
+        a = _run(seed=1)
+        b = _run(seed=2)
+        assert not np.array_equal(a.best_genome, b.best_genome)
+
+
+class TestSeeds:
+    def test_seed_genome_dominates_random_start(self):
+        optimum = np.full(6, 0.5)
+        ga = GeneticAlgorithm(
+            genome_length=6,
+            fitness=_sphere,
+            config=GAConfig(population_size=10, generations=1),
+            rng=make_rng(0),
+            seeds=[optimum],
+        )
+        result = ga.run()
+        assert result.best_fitness == pytest.approx(0.0, abs=1e-12)
+
+    def test_wrong_length_seed_rejected(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(
+                genome_length=6,
+                fitness=_sphere,
+                config=GAConfig(),
+                rng=make_rng(0),
+                seeds=[np.zeros(3)],
+            )
+
+
+class TestBudget:
+    def test_early_stop_on_stagnation(self):
+        result = _run(patience=2, generations=50)
+        assert result.generations_run <= 50
+
+    def test_evaluation_count(self):
+        result = _run(population_size=10, generations=3, patience=10)
+        # Initial population + one per generation individual.
+        assert result.evaluations == 10 * (1 + result.generations_run)
+
+    def test_genomes_stay_in_unit_box(self):
+        result = _run(mutation_rate=1.0, mutation_sigma=2.0)
+        assert np.all(result.best_genome >= 0.0)
+        assert np.all(result.best_genome <= 1.0)

@@ -1,0 +1,94 @@
+"""Property-based invariants of the GA engine and genome decodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ga import GAConfig, GENES_PER_LAYER, GeneticAlgorithm, decode_layer_strategy
+from repro.core.sharding import make_sharding_plan
+from repro.dnn import build_model
+from repro.utils import make_rng
+
+GRAPH = build_model("tiny_cnn")
+CONV = GRAPH.compute_nodes()[0]
+FC = GRAPH.compute_nodes()[-1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    genes=st.lists(
+        st.floats(0, 1, allow_nan=False), min_size=GENES_PER_LAYER, max_size=GENES_PER_LAYER
+    ),
+    parallelism=st.sampled_from([1, 2, 4, 8]),
+    node=st.sampled_from([CONV, FC]),
+)
+def test_decode_always_yields_feasible_strategy(genes, parallelism, node):
+    """The level-2 decode never produces an infeasible plan — the GA's
+    fitness landscape has no holes."""
+    strategy = decode_layer_strategy(np.array(genes), node, parallelism)
+    plan = make_sharding_plan(node.conv_spec(), strategy, parallelism)
+    assert plan is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_ga_best_is_minimum_of_history(seed):
+    def fitness(genome):
+        return float(np.sum(genome**2))
+
+    ga = GeneticAlgorithm(
+        genome_length=4,
+        fitness=fitness,
+        config=GAConfig(population_size=8, generations=5, elite_count=1),
+        rng=make_rng(seed),
+    )
+    result = ga.run()
+    assert result.best_fitness == min(result.history)
+    assert result.best_fitness == pytest.approx(fitness(result.best_genome))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_ga_respects_unit_box(seed):
+    seen = []
+
+    def fitness(genome):
+        seen.append(genome.copy())
+        return float(genome[0])
+
+    GeneticAlgorithm(
+        genome_length=3,
+        fitness=fitness,
+        config=GAConfig(
+            population_size=6,
+            generations=3,
+            mutation_rate=1.0,
+            mutation_sigma=3.0,
+            elite_count=1,
+        ),
+        rng=make_rng(seed),
+    ).run()
+    stacked = np.vstack(seen)
+    assert np.all(stacked >= 0.0)
+    assert np.all(stacked <= 1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_seeded_ga_never_worse_than_seed(seed):
+    """Elitism guarantees the best seed survives every generation."""
+
+    def fitness(genome):
+        return float(np.sum((genome - 0.25) ** 2))
+
+    seed_genome = np.full(5, 0.3)
+    ga = GeneticAlgorithm(
+        genome_length=5,
+        fitness=fitness,
+        config=GAConfig(population_size=8, generations=4, elite_count=1),
+        rng=make_rng(seed),
+        seeds=[seed_genome],
+    )
+    result = ga.run()
+    assert result.best_fitness <= fitness(seed_genome) + 1e-12

@@ -1,0 +1,174 @@
+"""Graph construction, validation, ordering, and statistics."""
+
+import pytest
+
+from repro.dnn import ComputationGraph, GraphBuilder
+from repro.dnn.layers import Activation, Conv2d, FeatureMap, InputLayer
+from repro.dnn.graph import LayerNode
+
+
+def _node(name, layer, inputs, input_shapes, output_shape):
+    return LayerNode(
+        name=name,
+        layer=layer,
+        inputs=inputs,
+        input_shapes=input_shapes,
+        output_shape=output_shape,
+    )
+
+
+def _simple_graph() -> ComputationGraph:
+    b = GraphBuilder("g")
+    x = b.input(3, 8, 8)
+    x = b.conv(x, 4, kernel=3, padding=1, name="c1")
+    x = b.relu(x, name="r1")
+    b.conv(x, 8, kernel=3, padding=1, name="c2")
+    return b.build()
+
+
+class TestGraphValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            ComputationGraph("empty", [])
+
+    def test_duplicate_names_rejected(self):
+        shape = FeatureMap(3, 8, 8)
+        node = _node("input", InputLayer(3, 8, 8), (), (), shape)
+        with pytest.raises(ValueError):
+            ComputationGraph("dup", [node, node])
+
+    def test_forward_reference_rejected(self):
+        shape = FeatureMap(3, 8, 8)
+        conv = Conv2d(out_channels=4, kernel=3, padding=1)
+        bad = _node("c1", conv, ("missing",), (shape,), FeatureMap(4, 8, 8))
+        with pytest.raises(ValueError):
+            ComputationGraph("bad", [bad])
+
+    def test_unreachable_island_rejected(self):
+        shape = FeatureMap(3, 8, 8)
+        root = _node("input", InputLayer(3, 8, 8), (), (), shape)
+        # An activation wired to itself-like orphan cannot be built through
+        # the builder; construct nodes manually to simulate a corrupt graph.
+        orphan = _node("lonely", Activation(), ("lonely2",), (shape,), shape)
+        orphan2 = _node("lonely2", Activation(), ("lonely",), (shape,), shape)
+        with pytest.raises(ValueError):
+            ComputationGraph("island", [root, orphan, orphan2])
+
+
+class TestGraphQueries:
+    def test_topological_order_matches_insertion(self):
+        g = _simple_graph()
+        assert g.topological_order() == ["input", "c1", "r1", "c2"]
+
+    def test_edges(self):
+        g = _simple_graph()
+        assert ("input", "c1") in g.edges()
+        assert ("c1", "r1") in g.edges()
+
+    def test_predecessors_successors(self):
+        g = _simple_graph()
+        assert g.predecessors("r1") == ["c1"]
+        assert g.successors("c1") == ["r1"]
+        assert g.successors("c2") == []
+
+    def test_len_and_contains(self):
+        g = _simple_graph()
+        assert len(g) == 4
+        assert "c1" in g
+        assert "nope" not in g
+
+    def test_compute_nodes_are_convs(self):
+        g = _simple_graph()
+        assert [n.name for n in g.compute_nodes()] == ["c1", "c2"]
+
+    def test_output_nodes(self):
+        g = _simple_graph()
+        assert [n.name for n in g.output_nodes()] == ["c2"]
+
+    def test_input_nodes(self):
+        g = _simple_graph()
+        assert [n.name for n in g.input_nodes()] == ["input"]
+
+
+class TestLayerNode:
+    def test_conv_spec_access(self):
+        g = _simple_graph()
+        spec = g.node("c1").conv_spec()
+        assert spec.in_channels == 3
+        assert spec.out_channels == 4
+
+    def test_conv_spec_on_non_compute_raises(self):
+        g = _simple_graph()
+        with pytest.raises(TypeError):
+            g.node("r1").conv_spec()
+
+    def test_output_bytes(self):
+        g = _simple_graph()
+        assert g.node("c1").output_bytes == 4 * 8 * 8 * 2
+
+    def test_str_rendering(self):
+        g = _simple_graph()
+        text = str(g.node("c1"))
+        assert "c1" in text and "conv2d" in text
+
+
+class TestStats:
+    def test_param_and_mac_totals(self):
+        g = _simple_graph()
+        stats = g.stats()
+        c1_params = 4 * 3 * 9 + 4
+        c2_params = 8 * 4 * 9 + 8
+        assert stats.params == c1_params + c2_params
+        c1_macs = 4 * 3 * 64 * 9
+        c2_macs = 8 * 4 * 64 * 9
+        assert stats.macs == c1_macs + c2_macs
+
+    def test_summary_mentions_name(self):
+        assert "g:" in _simple_graph().summary()
+
+
+class TestBuilder:
+    def test_unknown_input_rejected(self):
+        b = GraphBuilder("g")
+        with pytest.raises(ValueError):
+            b.conv("ghost", 4, kernel=3)
+
+    def test_duplicate_explicit_name_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 8, 8)
+        b.conv(x, 4, kernel=3, padding=1, name="c")
+        with pytest.raises(ValueError):
+            b.conv(x, 4, kernel=3, padding=1, name="c")
+
+    def test_auto_names_increment(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 8, 8)
+        first = b.relu(x)
+        second = b.relu(first)
+        assert first == "activation1"
+        assert second == "activation2"
+
+    def test_shape_of(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 8, 8)
+        c = b.conv(x, 4, kernel=3, padding=1)
+        assert b.shape_of(c) == FeatureMap(4, 8, 8)
+
+    def test_conv_bn_relu_composite(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 8, 8)
+        out = b.conv_bn_relu(x, 4, kernel=3, padding=1, name="c")
+        g = b.build()
+        assert g.node("c").kind == "conv2d"
+        assert g.node(out).kind == "activation"
+        # conv inside the composite must not carry a bias (BN absorbs it)
+        assert g.node("c").layer.bias is False
+
+    def test_residual_graph_builds(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 8, 8)
+        left = b.conv(x, 3, kernel=3, padding=1)
+        merged = b.add_residual(left, x)
+        g = b.build()
+        assert g.node(merged).kind == "add"
+        assert set(g.node(merged).inputs) == {left, "input"}

@@ -1,0 +1,145 @@
+"""Grouped/depthwise convolution support across the stack."""
+
+import pytest
+
+from repro.accelerators import table2_designs
+from repro.core.sharding import ParallelismStrategy, make_sharding_plan
+from repro.dnn import build_model
+from repro.dnn.layers import Conv2d, ConvSpec, FeatureMap, LoopDim
+
+
+def _depthwise(channels=64, hw=28):
+    return ConvSpec(
+        out_channels=channels,
+        in_channels=channels,
+        out_h=hw,
+        out_w=hw,
+        kernel_h=3,
+        kernel_w=3,
+        groups=channels,
+    )
+
+
+class TestGroupedSpec:
+    def test_macs_divided_by_groups(self):
+        dense = ConvSpec(
+            out_channels=64, in_channels=64, out_h=28, out_w=28,
+            kernel_h=3, kernel_w=3,
+        )
+        assert _depthwise().macs == dense.macs // 64
+
+    def test_weight_params_divided(self):
+        assert _depthwise(64).weight_params == 64 * 1 * 9
+
+    def test_indivisible_channels_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ConvSpec(
+                out_channels=64, in_channels=63, out_h=8, out_w=8,
+                kernel_h=3, kernel_w=3, groups=8,
+            )
+
+    def test_per_group_view(self):
+        per = _depthwise(64).per_group()
+        assert per.in_channels == per.out_channels == 1
+        assert per.groups == 1
+
+    def test_weight_tensor_uses_per_group_cin(self):
+        weight = _depthwise(64).tensors()["weight"]
+        assert weight.extent_of(LoopDim.CIN) == 1
+
+    def test_cout_shard_carries_groups(self):
+        half = _depthwise(64).with_extents({LoopDim.COUT: 32})
+        assert half.groups == 32
+        assert half.in_channels == 32
+
+    def test_layer_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Conv2d(out_channels=10, kernel=3, groups=4)
+
+    def test_layer_spec_propagates_groups(self):
+        layer = Conv2d(out_channels=32, kernel=3, padding=1, groups=32, bias=False)
+        spec = layer.spec(FeatureMap(32, 16, 16))
+        assert spec.groups == 32
+
+
+class TestGroupedCycles:
+    def test_depthwise_utilization_collapses_on_channel_parallel_designs(self):
+        """The reason depthwise layers are slow on CNN accelerators."""
+        dense = ConvSpec(
+            out_channels=64, in_channels=64, out_h=28, out_w=28,
+            kernel_h=3, kernel_w=3,
+        )
+        depthwise = _depthwise()
+        for design in table2_designs():
+            dense_eff = dense.macs / design.conv_cycles(dense)
+            dw_eff = depthwise.macs / design.conv_cycles(depthwise)
+            assert dw_eff < dense_eff
+
+    def test_grouped_cycles_positive_everywhere(self):
+        for design in table2_designs():
+            assert design.conv_cycles(_depthwise()) > 0
+
+
+class TestGroupedSharding:
+    def test_cin_partitioning_infeasible(self):
+        plan = make_sharding_plan(
+            _depthwise(), ParallelismStrategy(es=(LoopDim.CIN,)), 2
+        )
+        assert plan is None
+
+    def test_spatial_partitioning_feasible(self):
+        plan = make_sharding_plan(
+            _depthwise(), ParallelismStrategy(es=(LoopDim.H, LoopDim.W)), 4
+        )
+        assert plan is not None
+        assert plan.phase_spec.groups == 64
+
+    def test_cout_partitioning_respects_groups(self):
+        plan = make_sharding_plan(
+            _depthwise(64), ParallelismStrategy(es=(LoopDim.COUT,)), 4
+        )
+        assert plan is not None
+        assert plan.phase_spec.out_channels == 16
+        assert plan.phase_spec.groups == 16
+
+    def test_cout_partition_not_dividing_groups_rejected(self):
+        # 8 groups cannot split across 3 accelerators evenly.
+        spec = ConvSpec(
+            out_channels=24, in_channels=24, out_h=8, out_w=8,
+            kernel_h=3, kernel_w=3, groups=8,
+        )
+        plan = make_sharding_plan(
+            spec, ParallelismStrategy(es=(LoopDim.COUT,)), 3
+        )
+        assert plan is None
+
+
+class TestMobileNet:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("mobilenet_v1")
+
+    def test_statistics_match_reference(self, graph):
+        stats = graph.stats()
+        # MobileNetV1 1.0: ~4.2M params, ~569M MACs.
+        assert stats.params_m == pytest.approx(4.23, rel=0.02)
+        assert stats.flops_g == pytest.approx(0.569, rel=0.03)
+
+    def test_depthwise_layers_present(self, graph):
+        depthwise = [
+            n for n in graph.conv_nodes() if n.layer.groups > 1
+        ]
+        assert len(depthwise) == 13
+
+    def test_mobilenet_searchable(self, graph):
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+        from repro.system import f1_16xlarge
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=4, generations=2, elite_count=1),
+            level2=GAConfig(population_size=6, generations=3, elite_count=1),
+        )
+        result = Mars(graph, f1_16xlarge(), budget=budget).search(seed=0)
+        assert result.feasible
+        assert result.latency_ms > 0

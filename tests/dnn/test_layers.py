@@ -1,0 +1,212 @@
+"""Layer shape inference, loop nests, and parameter accounting."""
+
+import pytest
+
+from repro.dnn import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    FeatureMap,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool,
+    InputLayer,
+    LoopDim,
+    Pool2d,
+)
+from repro.dnn.layers import LOOP_DIMS, REDUCTION_DIMS
+
+
+class TestFeatureMap:
+    def test_numel(self):
+        assert FeatureMap(3, 224, 224).numel == 3 * 224 * 224
+
+    def test_nbytes_uses_16bit_default(self):
+        assert FeatureMap(1, 2, 2).nbytes() == 8
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            FeatureMap(0, 4, 4)
+
+
+class TestConv2d:
+    def test_alexnet_conv1_shape(self):
+        conv = Conv2d(out_channels=64, kernel=11, stride=4, padding=2)
+        out = conv.infer_output((FeatureMap(3, 224, 224),))
+        assert out == FeatureMap(64, 55, 55)
+
+    def test_same_padding_3x3(self):
+        conv = Conv2d(out_channels=8, kernel=3, padding=1)
+        out = conv.infer_output((FeatureMap(4, 32, 32),))
+        assert out == FeatureMap(8, 32, 32)
+
+    def test_stride_halves_resolution(self):
+        conv = Conv2d(out_channels=8, kernel=3, stride=2, padding=1)
+        out = conv.infer_output((FeatureMap(4, 32, 32),))
+        assert out == FeatureMap(8, 16, 16)
+
+    def test_1x1_projection(self):
+        conv = Conv2d(out_channels=128, kernel=1, stride=2, role="projection")
+        out = conv.infer_output((FeatureMap(64, 56, 56),))
+        assert out == FeatureMap(128, 28, 28)
+
+    def test_empty_output_rejected(self):
+        conv = Conv2d(out_channels=8, kernel=7)
+        with pytest.raises(ValueError):
+            conv.infer_output((FeatureMap(4, 4, 4),))
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=8, kernel=3, role="shortcut")
+
+    def test_param_count_with_bias(self):
+        conv = Conv2d(out_channels=8, kernel=3, bias=True)
+        assert conv.param_count_for(4) == 8 * 4 * 9 + 8
+
+    def test_param_count_without_bias(self):
+        conv = Conv2d(out_channels=8, kernel=3, bias=False)
+        assert conv.param_count_for(4) == 8 * 4 * 9
+
+    def test_mac_count(self):
+        conv = Conv2d(out_channels=8, kernel=3, padding=1)
+        macs = conv.mac_count((FeatureMap(4, 16, 16),))
+        assert macs == 8 * 4 * 16 * 16 * 9
+
+
+class TestConvSpec:
+    def test_loop_extents_cover_all_dims(self):
+        conv = Conv2d(out_channels=8, kernel=3, padding=1)
+        spec = conv.spec(FeatureMap(4, 16, 16))
+        extents = spec.loop_extents()
+        assert set(extents) == set(LOOP_DIMS)
+        assert extents[LoopDim.COUT] == 8
+        assert extents[LoopDim.CIN] == 4
+        assert extents[LoopDim.H] == 16
+        assert extents[LoopDim.W] == 16
+        assert extents[LoopDim.KH] == 3
+        assert extents[LoopDim.KW] == 3
+
+    def test_with_extents_replaces_bounds(self):
+        spec = Conv2d(out_channels=8, kernel=3, padding=1).spec(
+            FeatureMap(4, 16, 16)
+        )
+        half = spec.with_extents({LoopDim.W: 8})
+        assert half.out_w == 8
+        assert half.out_h == 16
+        assert half.macs == spec.macs // 2
+
+    def test_tensor_signatures(self):
+        spec = Conv2d(out_channels=8, kernel=3, padding=1).spec(
+            FeatureMap(4, 16, 16)
+        )
+        tensors = spec.tensors()
+        assert tensors["input"].dims == (LoopDim.CIN, LoopDim.H, LoopDim.W)
+        assert tensors["weight"].dims == (
+            LoopDim.COUT,
+            LoopDim.CIN,
+            LoopDim.KH,
+            LoopDim.KW,
+        )
+        assert tensors["output"].dims == (LoopDim.COUT, LoopDim.H, LoopDim.W)
+
+    def test_weight_not_indexed_by_spatial_dims(self):
+        spec = Conv2d(out_channels=8, kernel=3, padding=1).spec(
+            FeatureMap(4, 16, 16)
+        )
+        weight = spec.tensors()["weight"]
+        assert not weight.has_dim(LoopDim.H)
+        assert not weight.has_dim(LoopDim.W)
+        assert weight.extent_of(LoopDim.H) == 1
+
+    def test_reduction_dims_are_cin_and_kernel(self):
+        assert REDUCTION_DIMS == {LoopDim.CIN, LoopDim.KH, LoopDim.KW}
+
+
+class TestPooling:
+    def test_alexnet_pool(self):
+        pool = Pool2d(kernel=3, stride=2)
+        assert pool.infer_output((FeatureMap(64, 55, 55),)) == FeatureMap(64, 27, 27)
+
+    def test_resnet_stem_pool_with_padding(self):
+        pool = Pool2d(kernel=3, stride=2, padding=1)
+        assert pool.infer_output((FeatureMap(64, 112, 112),)) == FeatureMap(
+            64, 56, 56
+        )
+
+    def test_global_avgpool(self):
+        gap = GlobalAvgPool()
+        assert gap.infer_output((FeatureMap(512, 7, 7),)) == FeatureMap(512, 1, 1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Pool2d(kernel=2, stride=2, mode="median")
+
+
+class TestElementwiseLayers:
+    def test_activation_preserves_shape(self):
+        fmap = FeatureMap(16, 8, 8)
+        assert Activation("relu").infer_output((fmap,)) == fmap
+
+    def test_batchnorm_preserves_shape_and_params(self):
+        bn = BatchNorm()
+        fmap = FeatureMap(16, 8, 8)
+        assert bn.infer_output((fmap,)) == fmap
+        assert bn.param_count_for(16) == 32
+
+    def test_add_requires_equal_shapes(self):
+        add = Add()
+        fmap = FeatureMap(16, 8, 8)
+        assert add.infer_output((fmap, fmap)) == fmap
+        with pytest.raises(ValueError):
+            add.infer_output((fmap, FeatureMap(8, 8, 8)))
+
+    def test_add_requires_two_inputs(self):
+        with pytest.raises(ValueError):
+            Add().infer_output((FeatureMap(1, 1, 1),))
+
+    def test_concat_sums_channels(self):
+        concat = Concat(3)
+        fmap = FeatureMap(16, 8, 8)
+        out = concat.infer_output((fmap, fmap, fmap))
+        assert out == FeatureMap(48, 8, 8)
+
+    def test_concat_rejects_spatial_mismatch(self):
+        concat = Concat(2)
+        with pytest.raises(ValueError):
+            concat.infer_output((FeatureMap(16, 8, 8), FeatureMap(16, 4, 4)))
+
+
+class TestFullyConnected:
+    def test_requires_flattened_input(self):
+        fc = FullyConnected(10)
+        with pytest.raises(ValueError):
+            fc.infer_output((FeatureMap(16, 2, 2),))
+
+    def test_flatten_then_fc(self):
+        flat = Flatten().infer_output((FeatureMap(16, 2, 2),))
+        assert flat == FeatureMap(64, 1, 1)
+        out = FullyConnected(10).infer_output((flat,))
+        assert out == FeatureMap(10, 1, 1)
+
+    def test_fc_spec_is_1x1_conv(self):
+        spec = FullyConnected(10).spec(FeatureMap(64, 1, 1))
+        assert spec.kernel_h == spec.kernel_w == 1
+        assert spec.out_h == spec.out_w == 1
+        assert spec.in_channels == 64
+        assert spec.out_channels == 10
+
+    def test_fc_params(self):
+        assert FullyConnected(10).param_count_for(64) == 650
+
+
+class TestInputLayer:
+    def test_arity_zero(self):
+        layer = InputLayer(3, 224, 224)
+        assert layer.arity == 0
+        assert layer.infer_output(()) == FeatureMap(3, 224, 224)
+
+    def test_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            InputLayer(3, 4, 4).infer_output((FeatureMap(1, 1, 1),))

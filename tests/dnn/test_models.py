@@ -1,0 +1,146 @@
+"""Model-zoo statistics must match the paper's Table III columns."""
+
+import pytest
+
+from repro.dnn import build_model
+from repro.dnn.models import MODEL_ZOO, TABLE3_MODELS, TABLE4_MODELS
+
+
+class TestZooRegistry:
+    def test_table3_models_registered(self):
+        assert set(TABLE3_MODELS) <= set(MODEL_ZOO)
+
+    def test_table4_models_registered(self):
+        assert set(TABLE4_MODELS) <= set(MODEL_ZOO)
+
+    def test_unknown_model_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="alexnet"):
+            build_model("not_a_model")
+
+
+# (name, #convs, params in M, MACs in G) from Table III; tolerances cover
+# rounding and minor architecture-variant drift.
+_TABLE3_EXPECTED = [
+    ("alexnet", 5, 61.1, 0.727),
+    ("vgg16", 13, 138.0, 15.5),
+    ("resnet34", 33, 21.8, 3.68),
+    ("resnet101", 100, 44.55, 7.85),
+    ("wide_resnet50_2", 49, 68.8, 11.4),
+]
+
+
+class TestTable3Statistics:
+    @pytest.mark.parametrize("name,convs,params_m,flops_g", _TABLE3_EXPECTED)
+    def test_conv_count_matches_paper(self, name, convs, params_m, flops_g):
+        stats = build_model(name).stats()
+        assert stats.num_convs == convs
+
+    @pytest.mark.parametrize("name,convs,params_m,flops_g", _TABLE3_EXPECTED)
+    def test_params_match_paper(self, name, convs, params_m, flops_g):
+        stats = build_model(name).stats()
+        assert stats.params_m == pytest.approx(params_m, rel=0.02)
+
+    @pytest.mark.parametrize("name,convs,params_m,flops_g", _TABLE3_EXPECTED)
+    def test_flops_match_paper(self, name, convs, params_m, flops_g):
+        stats = build_model(name).stats()
+        assert stats.flops_g == pytest.approx(flops_g, rel=0.03)
+
+
+class TestArchitectureShapes:
+    def test_alexnet_conv1_output(self):
+        g = build_model("alexnet")
+        assert str(g.node("conv1").output_shape) == "64x55x55"
+
+    def test_vgg16_final_feature_map(self):
+        g = build_model("vgg16")
+        conv13 = g.node("conv13")
+        assert str(conv13.output_shape) == "512x14x14"
+
+    def test_resnet34_stage_channels(self):
+        g = build_model("resnet34")
+        assert g.node("layer2_0_conv1").output_shape.channels == 64
+        assert g.node("layer5_2_conv2").output_shape.channels == 512
+
+    def test_resnet101_bottleneck_expansion(self):
+        g = build_model("resnet101")
+        assert g.node("layer2_0_conv3").output_shape.channels == 256
+        assert g.node("layer5_2_conv3").output_shape.channels == 2048
+
+    def test_wrn_width_doubled(self):
+        g = build_model("wide_resnet50_2")
+        # WRN-50-2 inner bottleneck width is 128 in stage 2 (vs 64).
+        assert g.node("layer2_0_conv1").output_shape.channels == 128
+
+    def test_resnet_projection_tagging(self):
+        g = build_model("resnet34")
+        projections = [
+            n for n in g.conv_nodes() if n.layer.role == "projection"
+        ]
+        assert len(projections) == 3
+
+    def test_resnet101_has_1x1_convs(self):
+        g = build_model("resnet101")
+        kernels = {n.layer.kernel for n in g.conv_nodes()}
+        assert 1 in kernels and 3 in kernels and 7 in kernels
+
+
+class TestHeterogeneousModels:
+    def test_casia_surf_has_three_inputs(self):
+        g = build_model("casia_surf")
+        assert len(g.input_nodes()) == 3
+
+    def test_casia_surf_modality_channels(self):
+        g = build_model("casia_surf")
+        channels = sorted(n.layer.channels for n in g.input_nodes())
+        assert channels == [1, 1, 3]
+
+    def test_casia_surf_fusion_concat(self):
+        g = build_model("casia_surf")
+        assert g.node("fusion_concat").output_shape.channels == 384
+
+    def test_facebagnet_heterogeneous_widths(self):
+        g = build_model("facebagnet")
+        widths = {
+            g.node("rgb_conv1").output_shape.channels,
+            g.node("depth_conv1").output_shape.channels,
+            g.node("ir_conv1").output_shape.channels,
+        }
+        assert widths == {64, 32, 48}
+
+    def test_facebagnet_single_output(self):
+        g = build_model("facebagnet")
+        outputs = g.output_nodes()
+        assert len(outputs) == 1
+        assert outputs[0].name == "fc_spoof"
+
+    @pytest.mark.parametrize("name", TABLE4_MODELS)
+    def test_heterogeneous_models_are_multi_branch(self, name):
+        g = build_model(name)
+        assert len(g.input_nodes()) >= 2
+
+
+class TestTinyModels:
+    def test_tiny_cnn_is_small(self):
+        stats = build_model("tiny_cnn").stats()
+        assert stats.macs < 20e6
+        assert stats.num_convs == 4
+
+    def test_tiny_resnet_has_projection(self):
+        g = build_model("tiny_resnet")
+        roles = {n.layer.role for n in g.conv_nodes()}
+        assert "projection" in roles
+
+
+class TestGraphWellFormedness:
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_every_zoo_model_builds_and_validates(self, name):
+        g = build_model(name)
+        order = g.topological_order()
+        position = {layer: i for i, layer in enumerate(order)}
+        for src, dst in g.edges():
+            assert position[src] < position[dst]
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_single_classifier_output(self, name):
+        g = build_model(name)
+        assert len(g.output_nodes()) == 1

@@ -1,0 +1,119 @@
+"""Multi-DNN workload merging (the Herald setting)."""
+
+import pytest
+
+from repro.dnn import build_model
+from repro.dnn.multi import combine_graphs, per_workload_ranges
+
+
+@pytest.fixture(scope="module")
+def combined():
+    return combine_graphs(
+        [build_model("tiny_cnn"), build_model("tiny_resnet")]
+    )
+
+
+class TestCombineGraphs:
+    def test_node_counts_add(self, combined):
+        a = build_model("tiny_cnn")
+        b = build_model("tiny_resnet")
+        assert len(combined) == len(a) + len(b)
+
+    def test_names_are_prefixed(self, combined):
+        assert "tiny_cnn/conv1" in combined
+        assert "tiny_resnet/conv1" in combined
+
+    def test_no_cross_workload_edges(self, combined):
+        for src, dst in combined.edges():
+            assert src.split("/")[0] == dst.split("/")[0]
+
+    def test_two_outputs(self, combined):
+        assert len(combined.output_nodes()) == 2
+
+    def test_stats_add(self, combined):
+        a = build_model("tiny_cnn").stats()
+        b = build_model("tiny_resnet").stats()
+        stats = combined.stats()
+        assert stats.params == a.params + b.params
+        assert stats.macs == a.macs + b.macs
+
+    def test_single_graph_rejected(self):
+        with pytest.raises(ValueError):
+            combine_graphs([build_model("tiny_cnn")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            combine_graphs([build_model("tiny_cnn"), build_model("tiny_cnn")])
+
+
+class TestWorkloadRanges:
+    def test_ranges_are_contiguous_and_ordered(self, combined):
+        ranges = per_workload_ranges(combined, ["tiny_cnn", "tiny_resnet"])
+        a = ranges["tiny_cnn"]
+        b = ranges["tiny_resnet"]
+        assert a[0] == 0
+        assert a[1] == b[0]
+        assert b[1] == len(combined)
+
+    def test_unknown_workload_rejected(self, combined):
+        with pytest.raises(ValueError):
+            per_workload_ranges(combined, ["resnet152"])
+
+
+class TestMultiDnnMapping:
+    def test_mars_maps_combined_workload(self, combined):
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+        from repro.system import f1_16xlarge
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=6, generations=4, elite_count=1),
+            level2=GAConfig(population_size=6, generations=4, elite_count=1),
+        )
+        result = Mars(combined, f1_16xlarge(), budget=budget).search(seed=0)
+        assert result.feasible
+        # Both networks' layers are covered.
+        covered = sum(
+            len(a.layer_range) for a in result.mapping.assignments
+        )
+        assert covered == len(combined)
+
+    def test_pipeline_metric_reflects_parallel_serving(self, combined):
+        """When the two networks sit on disjoint sets, the pipeline
+        interval (concurrent serving) is below the sequential latency."""
+        from repro.accelerators import design1_superlip
+        from repro.core import MappingEvaluator
+        from repro.core.formulation import (
+            AcceleratorSet,
+            LayerRange,
+            Mapping,
+            SetAssignment,
+        )
+        from repro.dnn.multi import per_workload_ranges
+        from repro.system import f1_16xlarge
+
+        topology = f1_16xlarge()
+        ranges = per_workload_ranges(combined, ["tiny_cnn", "tiny_resnet"])
+        mapping = Mapping(
+            graph=combined,
+            topology=topology,
+            assignments=[
+                SetAssignment(
+                    LayerRange(*ranges["tiny_cnn"]),
+                    AcceleratorSet((0, 1, 2, 3)),
+                    design1_superlip(),
+                ),
+                SetAssignment(
+                    LayerRange(*ranges["tiny_resnet"]),
+                    AcceleratorSet((4, 5, 6, 7)),
+                    design1_superlip(),
+                ),
+            ],
+        )
+        evaluation = MappingEvaluator(combined, topology).evaluate_mapping(
+            mapping
+        )
+        assert (
+            evaluation.pipeline_interval_seconds < evaluation.latency_seconds
+        )
+        assert evaluation.transfer_seconds == 0.0  # no cross-network edges

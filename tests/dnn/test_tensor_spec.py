@@ -1,0 +1,91 @@
+"""TensorSpec shard math, including the hypothesis invariants the
+sharding machinery relies on."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnn import LoopDim, TensorSpec
+from repro.dnn.layers import LOOP_DIMS
+
+
+def _weight(cout=8, cin=4, k=3) -> TensorSpec:
+    return TensorSpec(
+        "weight",
+        (LoopDim.COUT, LoopDim.CIN, LoopDim.KH, LoopDim.KW),
+        (cout, cin, k, k),
+    )
+
+
+class TestTensorSpecBasics:
+    def test_numel_and_bytes(self):
+        weight = _weight()
+        assert weight.numel == 8 * 4 * 9
+        assert weight.nbytes() == weight.numel * 2
+
+    def test_extent_of_absent_dim_is_one(self):
+        assert _weight().extent_of(LoopDim.H) == 1
+
+    def test_mismatched_dims_extents_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("bad", (LoopDim.H,), (4, 4))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("bad", (LoopDim.H, LoopDim.H), (4, 4))
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("bad", (LoopDim.H,), (0,))
+
+
+class TestShardedNumel:
+    def test_even_split(self):
+        weight = _weight(cout=8)
+        assert weight.sharded_numel({LoopDim.COUT: 2}) == weight.numel // 2
+
+    def test_uneven_split_rounds_up(self):
+        weight = _weight(cout=7)
+        # ceil(7/2) = 4 output channels in the largest shard.
+        assert weight.sharded_numel({LoopDim.COUT: 2}) == 4 * 4 * 9
+
+    def test_absent_dim_is_ignored(self):
+        weight = _weight()
+        assert weight.sharded_numel({LoopDim.H: 4}) == weight.numel
+
+    def test_multi_dim_split(self):
+        weight = _weight(cout=8, cin=4)
+        sharded = weight.sharded_numel({LoopDim.COUT: 2, LoopDim.CIN: 2})
+        assert sharded == weight.numel // 4
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            _weight().sharded_numel({LoopDim.COUT: 0})
+
+
+@given(
+    extents=st.lists(st.integers(1, 64), min_size=1, max_size=4),
+    degrees=st.lists(st.integers(1, 8), min_size=4, max_size=4),
+)
+def test_shards_cover_tensor(extents, degrees):
+    """P shards of size sharded_numel always cover the whole tensor."""
+    dims = LOOP_DIMS[: len(extents)]
+    spec = TensorSpec("t", tuple(dims), tuple(extents))
+    degree_map = dict(zip(dims, degrees))
+    shard = spec.sharded_numel(degree_map)
+    total_degree = math.prod(degree_map[d] for d in dims)
+    assert shard * total_degree >= spec.numel
+
+
+@given(
+    extent=st.integers(1, 512),
+    degree=st.integers(1, 16),
+)
+def test_shard_monotone_in_degree(extent, degree):
+    """Increasing the partition degree never grows the shard."""
+    spec = TensorSpec("t", (LoopDim.COUT,), (extent,))
+    coarse = spec.sharded_numel({LoopDim.COUT: degree})
+    fine = spec.sharded_numel({LoopDim.COUT: degree + 1})
+    assert fine <= coarse

@@ -1,0 +1,115 @@
+"""Extended zoo models and the random-model fuzzer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn import build_model
+from repro.dnn.models import random_model
+
+
+class TestResNetVariants:
+    def test_resnet18_statistics(self):
+        stats = build_model("resnet18").stats()
+        assert stats.num_convs == 17  # conv1 + 8 blocks x 2
+        assert stats.params_m == pytest.approx(11.7, rel=0.02)
+
+    def test_resnet50_statistics(self):
+        stats = build_model("resnet50").stats()
+        assert stats.num_convs == 49
+        assert stats.params_m == pytest.approx(25.6, rel=0.02)
+        assert stats.flops_g == pytest.approx(4.1, rel=0.05)
+
+    def test_family_ordering(self):
+        """Depth ordering of params must hold across the family."""
+        params = [
+            build_model(name).stats().params
+            for name in ("resnet18", "resnet34", "resnet50", "resnet101")
+        ]
+        assert params == sorted(params)
+
+
+class TestSqueezeNet:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("squeezenet")
+
+    def test_parameter_count(self, graph):
+        # SqueezeNet 1.1: ~1.24M parameters.
+        assert graph.stats().params_m == pytest.approx(1.24, rel=0.03)
+
+    def test_fire_modules_branch_and_merge(self, graph):
+        concat = graph.node("fire2_concat")
+        assert len(concat.inputs) == 2
+
+    def test_dominated_by_1x1_convs(self, graph):
+        convs = graph.conv_nodes()
+        one_by_one = [n for n in convs if n.layer.kernel == 1]
+        assert len(one_by_one) > len(convs) / 2
+
+    def test_winograd_unsuitable(self, graph):
+        """The Section VI-B claim extends to SqueezeNet: Design 3 loses
+        the network outright."""
+        from repro.accelerators import profile_designs, table2_designs
+
+        profile = profile_designs(graph, table2_designs())
+        scores = profile.normalized_scores()
+        assert scores["Design 3 (Winograd)"] < scores["Design 2 (Systolic)"]
+
+
+class TestRandomModels:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_generated_models_are_valid_graphs(self, seed):
+        graph = random_model(seed)
+        order = graph.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for src, dst in graph.edges():
+            assert position[src] < position[dst]
+        assert graph.compute_nodes()
+        assert len(graph.output_nodes()) == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_generated_models_evaluate(self, seed):
+        """Every random model must survive the full cost pipeline."""
+        from repro.accelerators import design1_superlip
+        from repro.core import MappingEvaluator
+        from repro.core.strategy_space import longest_dims_strategy
+        from repro.system import f1_16xlarge
+
+        graph = random_model(seed, max_convs=6)
+        evaluator = MappingEvaluator(graph, f1_16xlarge())
+        strategies = {
+            n.name: longest_dims_strategy(n.conv_spec())
+            for n in graph.compute_nodes()
+        }
+        result = evaluator.evaluate_set(
+            graph.nodes(), (0, 1), design1_superlip(), strategies
+        )
+        assert result.latency_seconds > 0
+
+    def test_same_seed_same_model(self):
+        a = random_model(123)
+        b = random_model(123)
+        assert a.topological_order() == b.topological_order()
+        assert a.stats() == b.stats()
+
+    def test_different_seeds_differ(self):
+        assert random_model(1).stats() != random_model(2).stats()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1_000))
+    def test_random_models_searchable(self, seed):
+        """MARS end-to-end on fuzzed workloads (tiny budget)."""
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+        from repro.system import f1_16xlarge
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=4, generations=2, elite_count=1),
+            level2=GAConfig(population_size=4, generations=2, elite_count=1),
+        )
+        graph = random_model(seed, max_convs=4, input_hw=32)
+        result = Mars(graph, f1_16xlarge(), budget=budget).search(seed=0)
+        assert result.latency_ms > 0

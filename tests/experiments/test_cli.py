@@ -1,0 +1,27 @@
+"""The ``python -m repro.experiments`` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2", "--models", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_table3_quick(self, capsys):
+        assert main(["table3", "--models", "tiny_cnn", "--budget", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "tiny_cnn" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_budget_flag_accepts_paper(self):
+        # Argument parsing only; no need to actually run the big budget.
+        with pytest.raises(SystemExit):
+            main(["table3", "--budget", "huge"])

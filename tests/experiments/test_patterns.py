@@ -1,0 +1,88 @@
+"""Experiment E7: Section VI-B mapping patterns must emerge from the
+cost models (not be hard-coded anywhere)."""
+
+import pytest
+
+from repro.accelerators import table2_designs
+from repro.core.ga import GAConfig, SearchBudget
+from repro.core.mapper import Mars
+from repro.dnn import build_model
+from repro.experiments import analyze_mapping
+from repro.system import f1_16xlarge
+
+BUDGET = SearchBudget(
+    level1=GAConfig(population_size=8, generations=6, elite_count=1, patience=4),
+    level2=GAConfig(population_size=10, generations=8, elite_count=1, patience=4),
+)
+
+
+@pytest.fixture(scope="module")
+def alexnet_result():
+    return Mars(
+        build_model("alexnet"), f1_16xlarge(), budget=BUDGET
+    ).search(seed=0)
+
+
+class TestDesignProfiles:
+    """The per-layer design preferences that drive the patterns."""
+
+    def test_design1_wins_alexnet_stem(self):
+        from repro.accelerators import profile_designs
+
+        profile = profile_designs(build_model("alexnet"), table2_designs())
+        first = profile.layers[0]
+        assert first.best_design() == "Design 1 (SuperLIP)"
+
+    def test_design3_never_wins_1x1_layers(self):
+        from repro.accelerators import profile_designs
+
+        graph = build_model("resnet101")
+        profile = profile_designs(graph, table2_designs())
+        convs = {n.name: n for n in graph.compute_nodes()}
+        for layer in profile.layers:
+            node = convs[layer.layer_name]
+            if node.kind == "conv2d" and node.layer.kernel == 1:
+                assert layer.best_design() != "Design 3 (Winograd)"
+
+
+class TestMappingPatterns:
+    def test_spatial_partitioning_dominates_early_alexnet(self, alexnet_result):
+        patterns = analyze_mapping(alexnet_result.mapping)
+        # Paper: "MARS tends to partition these layers along H/W".
+        assert patterns.early_spatial_fraction >= 0.5
+
+    def test_analysis_requires_convolutions(self):
+        from repro.core.formulation import (
+            AcceleratorSet,
+            LayerRange,
+            Mapping,
+            SetAssignment,
+        )
+        from repro.accelerators import design1_superlip
+        from repro.dnn.builder import GraphBuilder
+
+        b = GraphBuilder("fc_only")
+        x = b.input(1, 1, 1)
+        x = b.flatten(x)
+        b.fc(x, 4)
+        graph = b.build()
+        mapping = Mapping(
+            graph=graph,
+            topology=f1_16xlarge(),
+            assignments=[
+                SetAssignment(
+                    LayerRange(0, len(graph)),
+                    AcceleratorSet((0,)),
+                    design1_superlip(),
+                )
+            ],
+        )
+        with pytest.raises(ValueError):
+            analyze_mapping(mapping)
+
+    def test_patterns_dataclass_fields(self, alexnet_result):
+        patterns = analyze_mapping(alexnet_result.mapping)
+        assert patterns.first_set_design is not None
+        assert patterns.designs_used
+        assert 0.0 <= patterns.early_spatial_fraction <= 1.0
+        assert 0.0 <= patterns.late_channel_fraction <= 1.0

@@ -1,0 +1,59 @@
+"""Discrete-event engine determinism and safety rails."""
+
+import pytest
+
+from repro.simulator import EventQueue
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("late"))
+        q.schedule(1.0, lambda: fired.append("early"))
+        q.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append("first"))
+        q.schedule(1.0, lambda: fired.append("second"))
+        q.run()
+        assert fired == ["first", "second"]
+
+    def test_run_returns_final_time(self):
+        q = EventQueue()
+        q.schedule(3.5, lambda: None)
+        assert q.run() == 3.5
+
+    def test_schedule_after_uses_now(self):
+        q = EventQueue()
+        times = []
+        q.schedule(1.0, lambda: q.schedule_after(0.5, lambda: times.append(q.now)))
+        q.run()
+        assert times == [1.5]
+
+    def test_scheduling_in_the_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: q.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            q.run()
+
+    def test_event_budget_guards_loops(self):
+        q = EventQueue()
+
+        def rearm():
+            q.schedule_after(0.1, rearm)
+
+        q.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run(max_events=100)
+
+    def test_processed_count(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda: None)
+        q.run()
+        assert q.processed_events == 5
+        assert len(q) == 0

@@ -1,0 +1,93 @@
+"""Network resource semantics: serialization, routing, accounting."""
+
+import pytest
+
+from repro.simulator import EventQueue, Network
+from repro.system import f1_16xlarge
+from repro.utils.units import gbps
+
+
+@pytest.fixture()
+def network():
+    return Network(f1_16xlarge(), EventQueue())
+
+
+MB = 1_000_000
+
+
+class TestDirectTransfers:
+    def test_intra_group_uses_direct_link(self, network):
+        end = network.transfer_end_time(0.0, 0, 1, 8 * MB)
+        # 8 MB over 8 Gbps = 8e6*8/8e9 = 8 ms, plus 2 us hop latency.
+        assert end == pytest.approx(8e-3 + 2e-6)
+        assert network.records[-1].route == "direct"
+
+    def test_cross_group_stages_through_host(self, network):
+        end = network.transfer_end_time(0.0, 0, 4, 2 * MB)
+        # Two sequential 2 Gbps hops of 8 ms each plus 2 x 10 us.
+        assert end == pytest.approx(2 * (8e-3 + 10e-6))
+        assert network.records[-1].route == "host"
+
+    def test_zero_byte_transfer_costs_latency_only(self, network):
+        end = network.transfer_end_time(0.0, 0, 1, 0)
+        assert end == pytest.approx(2e-6)
+
+    def test_self_transfer_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.transfer_end_time(0.0, 3, 3, MB)
+
+
+class TestSerialization:
+    def test_same_direction_serializes(self, network):
+        first = network.transfer_end_time(0.0, 0, 1, 8 * MB)
+        second = network.transfer_end_time(0.0, 0, 1, 8 * MB)
+        assert second == pytest.approx(first + 8e-3)
+
+    def test_full_duplex_directions_overlap(self, network):
+        forward = network.transfer_end_time(0.0, 0, 1, 8 * MB)
+        backward = network.transfer_end_time(0.0, 1, 0, 8 * MB)
+        assert backward == pytest.approx(forward)
+
+    def test_distinct_links_run_in_parallel(self, network):
+        a = network.transfer_end_time(0.0, 0, 1, 8 * MB)
+        b = network.transfer_end_time(0.0, 2, 3, 8 * MB)
+        assert a == pytest.approx(b)
+
+    def test_host_port_contention(self, network):
+        # Two cross-group sends from the same source fight for its up-link.
+        a = network.transfer_end_time(0.0, 0, 4, 2 * MB)
+        b = network.transfer_end_time(0.0, 0, 5, 2 * MB)
+        assert b > a
+
+    def test_host_ports_of_different_accs_are_parallel(self, network):
+        a = network.transfer_end_time(0.0, 0, 4, 2 * MB)
+        b = network.transfer_end_time(0.0, 1, 5, 2 * MB)
+        assert a == pytest.approx(b)
+
+
+class TestHostTraffic:
+    def test_host_write_and_read(self, network):
+        end_write = network.host_write_end_time(0.0, 0, 2 * MB)
+        assert end_write == pytest.approx(8e-3 + 10e-6)
+        end_read = network.host_read_end_time(0.0, 0, 2 * MB)
+        assert end_read == pytest.approx(8e-3 + 10e-6)
+
+    def test_write_and_read_use_separate_ports(self, network):
+        w = network.host_write_end_time(0.0, 0, 2 * MB)
+        r = network.host_read_end_time(0.0, 0, 2 * MB)
+        # Up and down are independent full-duplex ports.
+        assert w == pytest.approx(r)
+
+
+class TestAccounting:
+    def test_total_bytes_moved(self, network):
+        network.transfer_end_time(0.0, 0, 1, MB)
+        network.transfer_end_time(0.0, 0, 4, 2 * MB)
+        assert network.total_bytes_moved() == 3 * MB
+
+    def test_bytes_by_route(self, network):
+        network.transfer_end_time(0.0, 0, 1, MB)
+        network.transfer_end_time(0.0, 0, 4, 2 * MB)
+        routes = network.bytes_by_route()
+        assert routes["direct"] == MB
+        assert routes["host"] == 2 * MB

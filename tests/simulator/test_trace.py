@@ -1,0 +1,156 @@
+"""Trace export: Chrome JSON schema and the ASCII Gantt renderer."""
+
+import json
+
+import pytest
+
+from repro.simulator import (
+    CollectiveStep,
+    ComputeStep,
+    ExecutionProgram,
+    HostStep,
+    TransferStep,
+)
+from repro.simulator.trace import (
+    chrome_trace_json,
+    render_gantt,
+    step_intervals,
+    to_chrome_trace,
+)
+from repro.system import f1_16xlarge
+
+MB = 1_000_000
+
+
+@pytest.fixture()
+def program_and_replay():
+    program = ExecutionProgram(f1_16xlarge())
+    program.extend(
+        [
+            HostStep(acc=0, nbytes=MB, kind="read", label="input"),
+            ComputeStep(group=(0, 1, 2, 3), seconds=0.004, label="conv1"),
+            CollectiveStep(
+                kind="allreduce", group=(0, 1, 2, 3), nbytes=2 * MB,
+                label="conv1:allreduce",
+            ),
+            TransferStep(
+                src_group=(0, 1), dst_group=(4, 5), total_bytes=MB,
+                label="boundary",
+            ),
+            ComputeStep(group=(4, 5), seconds=0.002, label="conv2"),
+        ]
+    )
+    return program, program.replay()
+
+
+class TestStepIntervals:
+    def test_intervals_tile_the_timeline(self, program_and_replay):
+        program, replay = program_and_replay
+        intervals = step_intervals(program, replay)
+        assert intervals[0].start == 0.0
+        for prev, nxt in zip(intervals, intervals[1:]):
+            assert nxt.start == prev.end
+        assert intervals[-1].end == replay.total_seconds
+
+    def test_durations_nonnegative(self, program_and_replay):
+        program, replay = program_and_replay
+        for interval in step_intervals(program, replay):
+            assert interval.duration >= 0
+
+    def test_kind_classification(self, program_and_replay):
+        program, replay = program_and_replay
+        kinds = [i.kind for i in step_intervals(program, replay)]
+        assert kinds == [
+            "host-read",
+            "compute",
+            "allreduce",
+            "transfer",
+            "compute",
+        ]
+
+    def test_mismatched_replay_rejected(self, program_and_replay):
+        program, replay = program_and_replay
+        other = ExecutionProgram(f1_16xlarge())
+        other.append(ComputeStep(group=(0,), seconds=1.0))
+        with pytest.raises(ValueError):
+            step_intervals(other, replay)
+
+
+class TestChromeTrace:
+    def test_valid_json(self, program_and_replay):
+        program, replay = program_and_replay
+        parsed = json.loads(chrome_trace_json(program, replay))
+        assert "traceEvents" in parsed
+
+    def test_event_schema(self, program_and_replay):
+        program, replay = program_and_replay
+        trace = to_chrome_trace(program, replay)
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] in ("program", "network")
+
+    def test_program_and_network_tracks_present(self, program_and_replay):
+        program, replay = program_and_replay
+        trace = to_chrome_trace(program, replay)
+        pids = {event["pid"] for event in trace["traceEvents"]}
+        assert pids == {"program", "network"}
+
+    def test_network_events_name_the_link(self, program_and_replay):
+        program, replay = program_and_replay
+        trace = to_chrome_trace(program, replay)
+        tids = {
+            e["tid"] for e in trace["traceEvents"] if e["pid"] == "network"
+        }
+        assert any(tid.startswith("acc") for tid in tids)
+
+
+class TestGantt:
+    def test_contains_labels_and_total(self, program_and_replay):
+        program, replay = program_and_replay
+        text = render_gantt(program, replay)
+        assert "conv1" in text
+        assert "timeline:" in text
+        assert "#" in text
+
+    def test_row_cap_summarizes(self, program_and_replay):
+        program, replay = program_and_replay
+        text = render_gantt(program, replay, max_rows=2)
+        assert "hidden" in text
+
+    def test_width_validation(self, program_and_replay):
+        program, replay = program_and_replay
+        with pytest.raises(ValueError):
+            render_gantt(program, replay, width=4)
+
+    def test_bars_fit_width(self, program_and_replay):
+        program, replay = program_and_replay
+        width = 32
+        text = render_gantt(program, replay, width=width)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == width
+
+
+class TestEndToEndTrace:
+    def test_searched_mapping_produces_trace(self):
+        from repro.core import MappingEvaluator
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+        from repro.dnn import build_model
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=4, generations=2, elite_count=1),
+            level2=GAConfig(population_size=4, generations=2, elite_count=1),
+        )
+        graph = build_model("tiny_cnn")
+        topology = f1_16xlarge()
+        result = Mars(graph, topology, budget=budget).search(seed=0)
+        program = MappingEvaluator(graph, topology).compile_program(
+            result.mapping
+        )
+        replay = program.replay()
+        trace = to_chrome_trace(program, replay)
+        assert len(trace["traceEvents"]) > 0
+        assert "timeline" in render_gantt(program, replay)

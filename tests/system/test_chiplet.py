@@ -1,0 +1,58 @@
+"""The chiplet-mesh preset: nearest-neighbour topology semantics."""
+
+import pytest
+
+from repro.system import chiplet_mesh
+from repro.utils.units import gbps
+
+
+class TestChipletMesh:
+    def test_default_shape(self):
+        mesh = chiplet_mesh()
+        assert mesh.num_accelerators == 8
+        assert list(mesh.groups()) == ["row0", "row1"]
+
+    def test_nearest_neighbour_links_only(self):
+        mesh = chiplet_mesh(rows=2, cols=4)
+        # 2x4 grid: 2*3 horizontal + 4*1 vertical = 10 links.
+        assert len(mesh.links) == 10
+        assert mesh.direct_bandwidth(0, 1) == gbps(25)
+        assert mesh.direct_bandwidth(0, 4) == gbps(25)
+        assert mesh.direct_bandwidth(0, 5) is None  # diagonal: staged
+
+    def test_multi_hop_pairs_stage_through_host(self):
+        mesh = chiplet_mesh()
+        # store-and-forward: half the 8 Gbps host links.
+        assert mesh.effective_bandwidth(0, 7) == gbps(4)
+
+    def test_on_package_latency_is_low(self):
+        mesh = chiplet_mesh()
+        assert mesh.path_latency(0, 1) < 1e-6
+
+    def test_partition_candidates_follow_mesh_structure(self):
+        from repro.core.ga import candidate_partitions
+
+        partitions = candidate_partitions(chiplet_mesh())
+        shapes = {tuple(sorted(len(s) for s in p)) for p in partitions}
+        assert (8,) in shapes
+        assert (1,) * 8 in shapes
+        # Row-structured candidates from the group subdivisions.
+        assert (4, 4) in shapes
+
+    def test_mars_search_runs_on_mesh(self):
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+        from repro.dnn import build_model
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=6, generations=3, elite_count=1),
+            level2=GAConfig(population_size=6, generations=3, elite_count=1),
+        )
+        result = Mars(
+            build_model("tiny_cnn"), chiplet_mesh(), budget=budget
+        ).search(seed=0)
+        assert result.feasible
+
+    def test_degenerate_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            chiplet_mesh(rows=0)

@@ -1,0 +1,115 @@
+"""Presets must reproduce the paper's Fig. 1 / Section VI-A systems."""
+
+import pytest
+
+from repro.system import H2H_BANDWIDTH_LEVELS, f1_16xlarge, h2h_fixed_system
+from repro.utils.units import GIB, gbps
+
+
+class TestF1Preset:
+    """Experiment E4: the Fig. 1 architecture, asserted exactly."""
+
+    def test_eight_accelerators_in_two_groups(self):
+        sys = f1_16xlarge()
+        assert sys.num_accelerators == 8
+        groups = sys.groups()
+        assert list(groups) == ["group1", "group2"]
+        assert groups["group1"] == [0, 1, 2, 3]
+        assert groups["group2"] == [4, 5, 6, 7]
+
+    def test_intra_group_bandwidth_is_8gbps(self):
+        sys = f1_16xlarge()
+        assert sys.effective_bandwidth(0, 3) == gbps(8)
+        assert sys.effective_bandwidth(4, 7) == gbps(8)
+
+    def test_cross_group_goes_through_host_at_2gbps(self):
+        sys = f1_16xlarge()
+        assert sys.direct_bandwidth(0, 4) is None
+        # 2 Gbps host links, store-and-forward -> 1 Gbps effective.
+        assert sys.effective_bandwidth(0, 4) == gbps(1)
+
+    def test_dram_is_1gib(self):
+        sys = f1_16xlarge()
+        assert all(acc.dram_bytes == 1 * GIB for acc in sys.accelerators)
+
+    def test_full_mesh_within_groups(self):
+        sys = f1_16xlarge()
+        # C(4,2) = 6 links per group.
+        assert len(sys.links) == 12
+
+    def test_adaptive_kind(self):
+        assert f1_16xlarge().kind == "adaptive"
+
+    def test_configurable_shape(self):
+        sys = f1_16xlarge(accelerators_per_group=2, num_groups=3)
+        assert sys.num_accelerators == 6
+        assert len(sys.groups()) == 3
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            f1_16xlarge(num_groups=0)
+
+
+class TestH2HPreset:
+    def test_five_levels_match_table4(self):
+        assert list(H2H_BANDWIDTH_LEVELS.values()) == [1.0, 1.2, 2.0, 4.0, 10.0]
+
+    def test_one_accelerator_per_design(self):
+        sys = h2h_fixed_system(2.0)
+        assert sys.num_accelerators == 4
+        names = {sys.design_of(i).name for i in range(4)}
+        assert len(names) == 4
+
+    def test_fabric_is_fully_connected_at_level(self):
+        sys = h2h_fixed_system(1.2)
+        assert len(sys.links) == 6
+        assert sys.effective_bandwidth(0, 3) == pytest.approx(gbps(1.2))
+
+    def test_fixed_kind(self):
+        assert h2h_fixed_system(4.0).kind == "fixed"
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            h2h_fixed_system(1.0, designs=[])
+
+
+class TestMemoryLedger:
+    def test_charge_and_peak(self):
+        from repro.system import MemoryLedger
+
+        ledger = MemoryLedger(capacity_bytes=100)
+        ledger.charge("weights", 60)
+        ledger.charge("acts", 30)
+        assert ledger.resident_bytes == 90
+        assert ledger.fits
+
+    def test_overflow_detected(self):
+        from repro.system import MemoryLedger
+
+        ledger = MemoryLedger(capacity_bytes=100)
+        ledger.charge("weights", 150)
+        assert not ledger.fits
+        assert ledger.overflow_bytes == 50
+
+    def test_release_restores_but_peak_sticks(self):
+        from repro.system import MemoryLedger
+
+        ledger = MemoryLedger(capacity_bytes=100)
+        ledger.charge("tmp", 80)
+        ledger.release("tmp")
+        assert ledger.resident_bytes == 0
+        assert ledger.peak_bytes == 80
+
+    def test_negative_charge_rejected(self):
+        from repro.system import MemoryLedger
+
+        ledger = MemoryLedger(capacity_bytes=10)
+        with pytest.raises(ValueError):
+            ledger.charge("bad", -1)
+
+    def test_describe_mentions_state(self):
+        from repro.system import MemoryLedger
+
+        ledger = MemoryLedger(capacity_bytes=100)
+        ledger.charge("x", 10)
+        assert "fits" in ledger.describe()

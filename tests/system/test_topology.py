@@ -1,0 +1,143 @@
+"""Topology graph semantics: links, host staging, bottleneck queries."""
+
+import pytest
+
+from repro.accelerators import h2h_catalog
+from repro.system import Accelerator, Link, SystemTopology
+from repro.utils.units import GIB, gbps
+
+
+def _two_group_system() -> SystemTopology:
+    accs = [
+        Accelerator(i, f"a{i}", 1 * GIB, "g1" if i < 2 else "g2")
+        for i in range(4)
+    ]
+    links = [Link(0, 1, gbps(8)), Link(2, 3, gbps(8))]
+    host = {i: gbps(2) for i in range(4)}
+    return SystemTopology("t", accs, links, host)
+
+
+class TestConstruction:
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            SystemTopology("t", [], [], {})
+
+    def test_out_of_order_ids_rejected(self):
+        accs = [
+            Accelerator(1, "a1", GIB, "g"),
+            Accelerator(0, "a0", GIB, "g"),
+        ]
+        with pytest.raises(ValueError):
+            SystemTopology("t", accs, [], {0: gbps(1), 1: gbps(1)})
+
+    def test_duplicate_link_rejected(self):
+        accs = [Accelerator(i, f"a{i}", GIB, "g") for i in range(2)]
+        links = [Link(0, 1, gbps(8)), Link(1, 0, gbps(4))]
+        with pytest.raises(ValueError):
+            SystemTopology("t", accs, links, {0: gbps(1), 1: gbps(1)})
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link(2, 2, gbps(8))
+
+    def test_link_to_unknown_accelerator_rejected(self):
+        accs = [Accelerator(0, "a0", GIB, "g")]
+        with pytest.raises(ValueError):
+            SystemTopology("t", accs, [Link(0, 5, gbps(8))], {0: gbps(1)})
+
+    def test_missing_host_bandwidth_rejected(self):
+        accs = [Accelerator(i, f"a{i}", GIB, "g") for i in range(2)]
+        with pytest.raises(ValueError):
+            SystemTopology("t", accs, [], {0: gbps(1)})
+
+    def test_fixed_system_requires_designs(self):
+        accs = [Accelerator(0, "a0", GIB, "g")]
+        with pytest.raises(ValueError):
+            SystemTopology("t", accs, [], {0: gbps(1)}, kind="fixed")
+
+
+class TestBandwidth:
+    def test_direct_link_used_when_present(self):
+        sys = _two_group_system()
+        assert sys.effective_bandwidth(0, 1) == gbps(8)
+
+    def test_host_staging_when_no_direct_link(self):
+        # Store-and-forward through host DRAM: two serializations over
+        # the 2 Gbps host links -> effective 1 Gbps.
+        sys = _two_group_system()
+        assert sys.effective_bandwidth(0, 2) == gbps(1)
+
+    def test_symmetry(self):
+        sys = _two_group_system()
+        assert sys.effective_bandwidth(1, 0) == sys.effective_bandwidth(0, 1)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            _two_group_system().effective_bandwidth(1, 1)
+
+    def test_direct_bandwidth_none_for_unlinked(self):
+        assert _two_group_system().direct_bandwidth(0, 3) is None
+
+    def test_path_latency_direct_vs_host(self):
+        sys = _two_group_system()
+        assert sys.path_latency(0, 1) == sys.link_latency_s
+        assert sys.path_latency(0, 2) == 2 * sys.host_latency_s
+
+
+class TestSetQueries:
+    def test_min_bandwidth_within_group(self):
+        sys = _two_group_system()
+        assert sys.min_bandwidth_within((0, 1)) == gbps(8)
+
+    def test_min_bandwidth_across_groups_is_host_limited(self):
+        sys = _two_group_system()
+        assert sys.min_bandwidth_within((0, 1, 2)) == gbps(1)
+
+    def test_singleton_set_reports_host_bandwidth(self):
+        sys = _two_group_system()
+        assert sys.min_bandwidth_within((3,)) == gbps(2)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            _two_group_system().min_bandwidth_within(())
+
+    def test_max_latency_within(self):
+        sys = _two_group_system()
+        assert sys.max_latency_within((0, 1)) == sys.link_latency_s
+        assert sys.max_latency_within((0, 2)) == 2 * sys.host_latency_s
+        assert sys.max_latency_within((0,)) == 0.0
+
+
+class TestGroupsAndViews:
+    def test_groups(self):
+        groups = _two_group_system().groups()
+        assert groups == {"g1": [0, 1], "g2": [2, 3]}
+
+    def test_nx_graph_edges(self):
+        graph = _two_group_system().nx_graph()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 2
+        assert graph.edges[0, 1]["bandwidth"] == gbps(8)
+
+    def test_ascii_diagram_mentions_groups(self):
+        text = _two_group_system().ascii_diagram()
+        assert "g1" in text and "g2" in text
+
+
+class TestFixedDesigns:
+    def test_design_of_in_fixed_system(self):
+        catalog = h2h_catalog()[:2]
+        accs = [Accelerator(i, f"a{i}", GIB, "g") for i in range(2)]
+        sys = SystemTopology(
+            "t",
+            accs,
+            [Link(0, 1, gbps(4))],
+            {0: gbps(4), 1: gbps(4)},
+            kind="fixed",
+            fixed_designs={0: catalog[0], 1: catalog[1]},
+        )
+        assert sys.design_of(0).name == catalog[0].name
+
+    def test_design_of_rejected_on_adaptive(self):
+        with pytest.raises(ValueError):
+            _two_group_system().design_of(0)

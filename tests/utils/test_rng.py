@@ -1,0 +1,39 @@
+"""Determinism of the RNG helpers is what makes experiments replayable."""
+
+import numpy as np
+import pytest
+
+from repro.utils import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1_000_000, size=16)
+        b = make_rng(42).integers(0, 1_000_000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=16)
+        b = make_rng(2).integers(0, 1_000_000, size=16)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_children_are_deterministic(self):
+        kids_a = spawn_rngs(make_rng(7), 3)
+        kids_b = spawn_rngs(make_rng(7), 3)
+        for left, right in zip(kids_a, kids_b):
+            assert left.random() == right.random()
+
+    def test_children_are_independent(self):
+        kids = spawn_rngs(make_rng(7), 2)
+        seq0 = kids[0].integers(0, 1_000_000, size=8)
+        seq1 = kids[1].integers(0, 1_000_000, size=8)
+        assert not np.array_equal(seq0, seq1)
+
+    def test_count_zero(self):
+        assert spawn_rngs(make_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)

@@ -1,0 +1,136 @@
+"""Mapping JSON round-trips and schema-mismatch failure modes."""
+
+import pytest
+
+from repro.accelerators import table2_designs
+from repro.core import MappingEvaluator
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.core.sharding import ParallelismStrategy
+from repro.dnn import build_model
+from repro.dnn.layers import LoopDim
+from repro.system import f1_16xlarge
+from repro.utils.serialization import (
+    mapping_from_json,
+    mapping_to_json,
+    strategy_from_dict,
+    strategy_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_model("tiny_cnn")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return f1_16xlarge()
+
+
+@pytest.fixture()
+def mapping(graph, topology):
+    designs = table2_designs()
+    n = len(graph)
+    return Mapping(
+        graph=graph,
+        topology=topology,
+        assignments=[
+            SetAssignment(
+                LayerRange(0, n // 2),
+                AcceleratorSet((0, 1, 2, 3)),
+                designs[0],
+                strategies={
+                    "conv1": ParallelismStrategy(
+                        es=(LoopDim.H, LoopDim.W)
+                    ),
+                    "conv2": ParallelismStrategy(
+                        es=(LoopDim.COUT,), ss=LoopDim.H
+                    ),
+                },
+            ),
+            SetAssignment(
+                LayerRange(n // 2, n),
+                AcceleratorSet((4, 5)),
+                designs[1],
+            ),
+        ],
+    )
+
+
+class TestStrategyRoundTrip:
+    def test_plain_es(self):
+        s = ParallelismStrategy(es=(LoopDim.CIN, LoopDim.W))
+        assert strategy_from_dict(strategy_to_dict(s)) == s
+
+    def test_with_ss(self):
+        s = ParallelismStrategy(es=(LoopDim.H,), ss=LoopDim.COUT)
+        assert strategy_from_dict(strategy_to_dict(s)) == s
+
+    def test_empty(self):
+        s = ParallelismStrategy()
+        assert strategy_from_dict(strategy_to_dict(s)) == s
+
+
+class TestMappingRoundTrip:
+    def test_json_round_trip_preserves_structure(self, mapping, graph, topology):
+        text = mapping_to_json(mapping)
+        restored = mapping_from_json(text, graph, topology, table2_designs())
+        assert len(restored.assignments) == len(mapping.assignments)
+        for original, loaded in zip(mapping.assignments, restored.assignments):
+            assert loaded.layer_range == original.layer_range
+            assert loaded.acc_set == original.acc_set
+            assert loaded.design.name == original.design.name
+            assert loaded.strategies == original.strategies
+
+    def test_round_trip_preserves_latency(self, mapping, graph, topology):
+        evaluator = MappingEvaluator(graph, topology)
+        original = evaluator.evaluate_mapping(mapping).latency_seconds
+        restored = mapping_from_json(
+            mapping_to_json(mapping), graph, topology, table2_designs()
+        )
+        assert evaluator.evaluate_mapping(restored).latency_seconds == pytest.approx(
+            original
+        )
+
+    def test_workload_mismatch_rejected(self, mapping, topology):
+        other = build_model("tiny_resnet")
+        with pytest.raises(ValueError, match="workload"):
+            mapping_from_json(
+                mapping_to_json(mapping), other, topology, table2_designs()
+            )
+
+    def test_system_mismatch_rejected(self, mapping, graph):
+        other = f1_16xlarge(accelerators_per_group=2)
+        with pytest.raises(ValueError, match="system"):
+            mapping_from_json(
+                mapping_to_json(mapping), graph, other, table2_designs()
+            )
+
+    def test_unknown_design_rejected(self, mapping, graph, topology):
+        text = mapping_to_json(mapping)
+        with pytest.raises(ValueError, match="unknown design"):
+            mapping_from_json(text, graph, topology, table2_designs()[:1])
+
+
+class TestSearchResultRoundTrip:
+    def test_mars_result_survives_serialization(self, graph, topology):
+        from repro.core.ga import GAConfig, SearchBudget
+        from repro.core.mapper import Mars
+
+        budget = SearchBudget(
+            level1=GAConfig(population_size=6, generations=3, elite_count=1),
+            level2=GAConfig(population_size=6, generations=3, elite_count=1),
+        )
+        result = Mars(graph, topology, budget=budget).search(seed=0)
+        restored = mapping_from_json(
+            mapping_to_json(result.mapping), graph, topology, table2_designs()
+        )
+        evaluator = MappingEvaluator(graph, topology)
+        assert evaluator.evaluate_mapping(
+            restored
+        ).latency_seconds == pytest.approx(result.evaluation.latency_seconds)

@@ -1,0 +1,28 @@
+"""The table formatter backs all experiment reports."""
+
+import pytest
+
+from repro.utils import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [["xx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title_included(self):
+        text = format_table(["h"], [["v"]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_header_cells_present(self):
+        text = format_table(["model", "latency"], [["vgg16", "14.9"]])
+        assert "model" in text and "latency" in text and "vgg16" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_stringified(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text

@@ -1,0 +1,69 @@
+"""Unit conversions underpin every latency number; test them exactly."""
+
+import pytest
+
+from repro.utils import (
+    GBPS,
+    GIB,
+    MHZ,
+    bytes_to_human,
+    gbps,
+    mhz,
+    seconds_to_human,
+    transfer_seconds,
+)
+
+
+class TestBandwidthConversions:
+    def test_gbps_is_bits_per_second(self):
+        assert gbps(8) == 8 * GBPS == 8e9
+
+    def test_fractional_gbps(self):
+        assert gbps(1.2) == pytest.approx(1.2e9)
+
+    def test_mhz(self):
+        assert mhz(200) == 200 * MHZ == 2e8
+
+
+class TestTransferSeconds:
+    def test_one_gigabyte_over_8gbps(self):
+        # 1 GB = 8 Gbit takes exactly one second at 8 Gbps.
+        assert transfer_seconds(1e9, gbps(8)) == pytest.approx(1.0)
+
+    def test_zero_bytes_is_free(self):
+        assert transfer_seconds(0, gbps(1)) == 0.0
+
+    def test_scales_linearly_with_bytes(self):
+        t1 = transfer_seconds(1000, gbps(2))
+        t2 = transfer_seconds(2000, gbps(2))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_scales_inversely_with_bandwidth(self):
+        slow = transfer_seconds(4096, gbps(1))
+        fast = transfer_seconds(4096, gbps(4))
+        assert slow == pytest.approx(4 * fast)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, gbps(1))
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(1, 0)
+
+
+class TestHumanFormatting:
+    def test_bytes_to_human_bytes(self):
+        assert bytes_to_human(12) == "12 B"
+
+    def test_bytes_to_human_gib(self):
+        assert bytes_to_human(2 * GIB) == "2.00 GiB"
+
+    def test_seconds_to_human_ms(self):
+        assert seconds_to_human(0.0148) == "14.800 ms"
+
+    def test_seconds_to_human_us(self):
+        assert seconds_to_human(3.2e-6) == "3.200 us"
+
+    def test_seconds_to_human_s(self):
+        assert seconds_to_human(2.5) == "2.500 s"
