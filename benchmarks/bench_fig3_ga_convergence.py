@@ -23,6 +23,7 @@ def bench_mars_search_vgg16(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["latency_ms"] = round(result.latency_ms, 3)
     benchmark.extra_info["level1_evaluations"] = result.ga.evaluations
+    benchmark.extra_info["level1_cache_hits"] = result.ga.cache_hits
 
     series = [
         f"gen {i:2d}: {value * 1e3:8.3f} ms"
@@ -31,6 +32,9 @@ def bench_mars_search_vgg16(benchmark):
     text = (
         "Fig. 3 (two-level GA) convergence on VGG16\n"
         + "\n".join(series)
+        + "\n\nlevel-1 evaluation backend: "
+        + f"{result.ga.evaluations} unique evaluations, "
+        + f"{result.ga.cache_hits} phenotype-cache hits"
         + f"\n\nbest mapping:\n{result.describe()}"
     )
     emit("fig3_ga_convergence", text)

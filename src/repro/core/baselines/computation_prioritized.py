@@ -19,8 +19,10 @@ algorithms under an identical cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.accelerators.base import AcceleratorDesign, cached_conv_cycles
+from repro.core.ga.backends import EvaluationBackend, SerialBackend
 from repro.core.evaluator import (
     EvaluatorOptions,
     MappingEvaluation,
@@ -99,8 +101,13 @@ def computation_prioritized_mapping(
     topology: SystemTopology,
     designs: list[AcceleratorDesign],
     options: EvaluatorOptions | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> BaselineResult:
-    """Run the Section VI-A baseline and evaluate it."""
+    """Run the Section VI-A baseline and evaluate it.
+
+    Per-layer strategy selection goes through ``backend.map`` (serial by
+    default), so the baseline shares the search's evaluation backends.
+    """
     require(
         topology.kind == "adaptive",
         "the computation-prioritized baseline configures designs and "
@@ -119,16 +126,23 @@ def computation_prioritized_mapping(
     acc_sets = [AcceleratorSet(tuple(first_group)), AcceleratorSet(tuple(second_group))]
 
     opts = options or EvaluatorOptions()
+    resolved_backend = backend or SerialBackend()
     assignments = []
     for layer_range, acc_set in zip(ranges, acc_sets):
         members = [nodes[i] for i in layer_range.indices()]
         design = _best_design_for(members, designs)
+        compute_members = [node for node in members if node.is_compute]
+        chosen = resolved_backend.map(
+            partial(
+                _feasible_longest_dims,
+                parallelism=acc_set.size,
+                dtype_bytes=opts.dtype_bytes,
+            ),
+            compute_members,
+        )
         strategies = {
-            node.name: _feasible_longest_dims(
-                node, acc_set.size, opts.dtype_bytes
-            )
-            for node in members
-            if node.is_compute
+            node.name: strategy
+            for node, strategy in zip(compute_members, chosen)
         }
         assignments.append(
             SetAssignment(

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
 
-from repro.accelerators.base import cached_conv_cycles
+from repro.accelerators.base import AcceleratorDesign, cached_conv_cycles
+from repro.core.ga.backends import EvaluationBackend, SerialBackend
 from repro.core.evaluator import (
     EvaluatorOptions,
     MappingEvaluation,
@@ -65,11 +66,46 @@ def _segment_candidates(graph: ComputationGraph, max_segments: int) -> list[int]
     return [i for i, node in enumerate(graph.nodes()) if node.is_compute]
 
 
+def _accelerator_prefix(
+    acc_design_bw: tuple[AcceleratorDesign, float],
+    nodes: list,
+    opts: EvaluatorOptions,
+) -> list[float]:
+    """Prefix compute/weight-load seconds of one accelerator.
+
+    Module-level (and driven by ``backend.map``) so a parallel backend
+    can price all accelerators' prefixes concurrently.
+    """
+    design, host_bw = acc_design_bw
+    acc_prefix = [0.0]
+    for node in nodes:
+        if node.is_compute:
+            seconds = (
+                cached_conv_cycles(design, node.conv_spec())
+                / design.frequency_hz
+            )
+            if not opts.weights_resident:
+                weight_bytes = (
+                    node.conv_spec().weight_params * opts.dtype_bytes
+                )
+                seconds += transfer_seconds(weight_bytes, host_bw)
+        elif node.kind == "inputlayer":
+            seconds = 0.0
+        else:
+            seconds = (
+                math.ceil(node.output_shape.numel / design.num_pes)
+                / design.frequency_hz
+            )
+        acc_prefix.append(acc_prefix[-1] + seconds)
+    return acc_prefix
+
+
 def h2h_mapping(
     graph: ComputationGraph,
     topology: SystemTopology,
     options: EvaluatorOptions | None = None,
     max_segments: int | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> H2HResult:
     """Exact DP over contiguous segmentations onto distinct accelerators."""
     require(
@@ -89,30 +125,13 @@ def h2h_mapping(
     # Prefix compute (and, in the streaming scenario, weight-load)
     # seconds per accelerator for O(1) segment cost.
     designs = [topology.design_of(a) for a in range(n_accs)]
-    prefix: list[list[float]] = []
-    for acc, design in enumerate(designs):
-        acc_prefix = [0.0]
-        host_bw = topology.host_bandwidth(acc)
-        for node in nodes:
-            if node.is_compute:
-                seconds = (
-                    cached_conv_cycles(design, node.conv_spec())
-                    / design.frequency_hz
-                )
-                if not opts.weights_resident:
-                    weight_bytes = (
-                        node.conv_spec().weight_params * opts.dtype_bytes
-                    )
-                    seconds += transfer_seconds(weight_bytes, host_bw)
-            elif node.kind == "inputlayer":
-                seconds = 0.0
-            else:
-                seconds = (
-                    math.ceil(node.output_shape.numel / design.num_pes)
-                    / design.frequency_hz
-                )
-            acc_prefix.append(acc_prefix[-1] + seconds)
-        prefix.append(acc_prefix)
+    prefix: list[list[float]] = (backend or SerialBackend()).map(
+        partial(_accelerator_prefix, nodes=nodes, opts=opts),
+        [
+            (design, topology.host_bandwidth(acc))
+            for acc, design in enumerate(designs)
+        ],
+    )
 
     def segment_seconds(acc: int, start: int, stop: int) -> float:
         return prefix[acc][stop] - prefix[acc][start]

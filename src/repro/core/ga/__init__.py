@@ -1,5 +1,16 @@
 """Two-level genetic algorithm (Fig. 3 of the paper)."""
 
+from repro.core.ga.backends import (
+    BACKEND_CHOICES,
+    BackendStats,
+    CachedBackend,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_from_spec,
+    genome_key,
+    make_backend,
+)
 from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
 from repro.core.ga.heuristics import (
     candidate_partitions,
@@ -9,22 +20,35 @@ from repro.core.ga.heuristics import (
 from repro.core.ga.level1 import Level1Search, SearchBudget
 from repro.core.ga.level2 import (
     GENES_PER_LAYER,
+    Level2Fitness,
     SetSolution,
     decode_layer_strategy,
+    greedy_strategies,
     optimize_set,
 )
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "BackendStats",
+    "CachedBackend",
+    "EvaluationBackend",
     "GAConfig",
     "GAResult",
     "GENES_PER_LAYER",
     "GeneticAlgorithm",
     "Level1Search",
+    "Level2Fitness",
+    "ProcessPoolBackend",
     "SearchBudget",
+    "SerialBackend",
     "SetSolution",
+    "backend_from_spec",
     "candidate_partitions",
     "decode_layer_strategy",
     "design_gene_seed",
     "edge_removal_partitions",
+    "genome_key",
+    "greedy_strategies",
+    "make_backend",
     "optimize_set",
 ]

@@ -1,0 +1,380 @@
+"""Population-evaluation backends for the GA engine.
+
+The two-level GA spends nearly all of its wall-clock inside fitness
+evaluation: every generation prices a full population through the
+:class:`~repro.core.evaluator.MappingEvaluator`. The engine therefore
+evaluates *populations*, not individuals, and delegates the batch to an
+:class:`EvaluationBackend`:
+
+* :class:`SerialBackend` — evaluate genomes one by one in-process (the
+  engine's historical behaviour, and the default);
+* :class:`CachedBackend` — memoize fitness by genome (or, with a
+  ``key_fn``, by decoded *phenotype*) so elites and converged duplicates
+  are never re-priced; exposes hit/miss counters;
+* :class:`ProcessPoolBackend` — fan batches out over a process pool
+  with deterministic result ordering, falling back to serial evaluation
+  when ``workers == 1`` or the fitness callable cannot be pickled.
+
+All backends return results in input order and never touch the GA's
+RNG, so for a fixed seed every backend produces bit-identical
+``GAResult``s — they only change how fast the answer arrives.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ga.engine import GAConfig
+
+#: A scalar fitness function over genomes in [0, 1]^n.
+Fitness = Callable[[np.ndarray], float]
+
+#: Maps a genome to a hashable memoization key.
+KeyFn = Callable[[np.ndarray], Hashable]
+
+
+def genome_key(genome: np.ndarray) -> bytes:
+    """Default memoization key: the genome's raw bytes."""
+    return np.ascontiguousarray(genome).tobytes()
+
+
+@dataclass(frozen=True)
+class BackendStats:
+    """Cumulative counters of one backend instance.
+
+    ``evaluations`` counts *actual* fitness-function invocations, i.e.
+    unique evaluations under caching; ``cache_hits``/``cache_misses``
+    stay zero for uncached backends.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def since(self, earlier: "BackendStats") -> "BackendStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return BackendStats(
+            evaluations=self.evaluations - earlier.evaluations,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+        )
+
+
+class EvaluationBackend(ABC):
+    """Evaluates whole GA populations (and generic batches of work)."""
+
+    @abstractmethod
+    def evaluate(
+        self, fitness: Fitness, genomes: Sequence[np.ndarray]
+    ) -> list[float]:
+        """Fitness of every genome, in input order."""
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, in input order.
+
+        A generic escape hatch for evaluation-shaped loops outside the
+        GA proper (greedy seeding, baseline mappers, profiling).
+        """
+        return [fn(item) for item in items]
+
+    @property
+    @abstractmethod
+    def stats(self) -> BackendStats:
+        """Cumulative counters for this backend instance."""
+
+    def close(self) -> None:
+        """Release any resources (worker processes)."""
+
+    def __enter__(self) -> "EvaluationBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialBackend(EvaluationBackend):
+    """One-by-one in-process evaluation — the engine's classic loop."""
+
+    def __init__(self) -> None:
+        self._evaluations = 0
+
+    def evaluate(
+        self, fitness: Fitness, genomes: Sequence[np.ndarray]
+    ) -> list[float]:
+        self._evaluations += len(genomes)
+        return [float(fitness(g)) for g in genomes]
+
+    @property
+    def stats(self) -> BackendStats:
+        return BackendStats(evaluations=self._evaluations)
+
+
+class CachedBackend(EvaluationBackend):
+    """Memoizing wrapper around another backend.
+
+    Keys default to the raw genome bytes; pass ``key_fn`` to memoize at
+    the *phenotype* level instead (e.g. the decoded mapping of a level-1
+    genome), which collapses the many-to-one genome→phenotype decode and
+    is where the big hit rates come from. The wrapped backend only ever
+    sees cache misses, deduplicated within each batch.
+
+    Entries are namespaced per fitness callable (by identity, with the
+    callable pinned so its id cannot be recycled), so one cache can be
+    shared across many GAs/sub-problems without key collisions between
+    different fitness functions.
+    """
+
+    def __init__(
+        self,
+        inner: EvaluationBackend | None = None,
+        key_fn: KeyFn | None = None,
+    ) -> None:
+        self.inner = inner if inner is not None else SerialBackend()
+        self.key_fn = key_fn if key_fn is not None else genome_key
+        self._caches: dict[int, dict[Hashable, float]] = {}
+        self._pinned: dict[int, Fitness] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def _cache_for(self, fitness: Fitness) -> dict[Hashable, float]:
+        namespace = id(fitness)
+        if namespace not in self._pinned:
+            self._pinned[namespace] = fitness  # keeps the id unique
+            self._caches[namespace] = {}
+        return self._caches[namespace]
+
+    def evaluate(
+        self, fitness: Fitness, genomes: Sequence[np.ndarray]
+    ) -> list[float]:
+        cache = self._cache_for(fitness)
+        keys = [self.key_fn(g) for g in genomes]
+        pending_keys: list[Hashable] = []
+        pending_genomes: list[np.ndarray] = []
+        seen: set[Hashable] = set()
+        for key, genome in zip(keys, genomes):
+            if key in cache or key in seen:
+                continue
+            seen.add(key)
+            pending_keys.append(key)
+            pending_genomes.append(genome)
+        if pending_genomes:
+            values = self.inner.evaluate(fitness, pending_genomes)
+            cache.update(zip(pending_keys, values))
+        self._misses += len(pending_genomes)
+        self._hits += len(genomes) - len(pending_genomes)
+        return [cache[key] for key in keys]
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return self.inner.map(fn, items)
+
+    def __getstate__(self) -> None:
+        # A fitness closing over its cache must not ship stale clones to
+        # pool workers (their hits/misses would silently diverge); the
+        # pool backend falls back to serial evaluation instead.
+        raise TypeError("CachedBackend cannot be pickled")
+
+    @property
+    def cache_size(self) -> int:
+        return sum(len(cache) for cache in self._caches.values())
+
+    def clear(self) -> None:
+        self._caches.clear()
+        self._pinned.clear()
+
+    @property
+    def stats(self) -> BackendStats:
+        return replace(
+            self.inner.stats, cache_hits=self._hits, cache_misses=self._misses
+        )
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+
+#: Worker-side memo of unpickled callables, keyed by payload bytes, so
+#: repeat batches (every GA generation) skip the unpickle.
+_WORKER_PAYLOADS: dict[bytes, Callable[..., Any]] = {}
+_WORKER_PAYLOAD_LIMIT = 8
+
+
+def _run_chunk(payload: bytes, chunk: list[Any]) -> list[Any]:
+    target = _WORKER_PAYLOADS.get(payload)
+    if target is None:
+        if len(_WORKER_PAYLOADS) >= _WORKER_PAYLOAD_LIMIT:
+            _WORKER_PAYLOADS.clear()
+        target = pickle.loads(payload)
+        _WORKER_PAYLOADS[payload] = target
+    return [target(item) for item in chunk]
+
+
+class ProcessPoolBackend(EvaluationBackend):
+    """Evaluate batches on a pool of worker processes.
+
+    One executor serves the backend's whole lifetime: each batch ships
+    its callable once (workers memoize the unpickled object), so the
+    same pool can serve many sub-problems without respawning. Results
+    come back in input order, making a parallel run bit-identical to a
+    serial one. When the callable cannot be pickled (closures, bound
+    methods of stateful objects), or the pool breaks mid-batch,
+    evaluation silently degrades to the serial path — correctness never
+    depends on the pool.
+    """
+
+    def __init__(self, workers: int, chunksize: int | None = None) -> None:
+        require_positive(workers, "workers")
+        if chunksize is not None:
+            require_positive(chunksize, "chunksize")
+        self.workers = workers
+        self.chunksize = chunksize
+        self._evaluations = 0
+        self._executor = None
+        self._broken = False
+
+    # -- pool plumbing -------------------------------------------------
+
+    def _payload_for(self, target: Callable[..., Any]) -> bytes | None:
+        # No unpicklability memo: ids get recycled, and a failed pickle
+        # attempt is cheap (backends themselves refuse via __getstate__
+        # before any heavy state is serialized).
+        if self._broken:
+            return None
+        try:
+            return pickle.dumps(target)
+        except Exception:
+            return None
+
+    def _ensure_pool(self) -> bool:
+        if self._executor is not None:
+            return True
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        except OSError:
+            self._broken = True
+            return False
+        return True
+
+    def _shutdown_pool(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _map(
+        self, target: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        # Tiny batches are not worth the dispatch overhead.
+        if self.workers == 1 or len(items) < max(2, self.workers):
+            return [target(item) for item in items]
+        payload = self._payload_for(target)
+        if payload is None or not self._ensure_pool():
+            return [target(item) for item in items]
+        chunksize = self.chunksize or max(
+            1, -(-len(items) // (self.workers * 2))
+        )
+        chunks = [
+            list(items[i : i + chunksize])
+            for i in range(0, len(items), chunksize)
+        ]
+        try:
+            futures = [
+                self._executor.submit(_run_chunk, payload, chunk)
+                for chunk in chunks
+            ]
+            results: list[Any] = []
+            for future in futures:  # submission order == input order
+                results.extend(future.result())
+            return results
+        except Exception:
+            # BrokenProcessPool, pickling of items, worker crashes — the
+            # batch reruns serially and the pool is retired.
+            self._broken = True
+            self._shutdown_pool()
+            return [target(item) for item in items]
+
+    def __getstate__(self) -> None:
+        # Backends must never ride along when a fitness closing over one
+        # is shipped to a worker; refusing to pickle forces the safe
+        # serial fallback instead of silently cloning pool state.
+        raise TypeError("ProcessPoolBackend cannot be pickled")
+
+    # -- EvaluationBackend ---------------------------------------------
+
+    def evaluate(
+        self, fitness: Fitness, genomes: Sequence[np.ndarray]
+    ) -> list[float]:
+        self._evaluations += len(genomes)
+        return [float(v) for v in self._map(fitness, genomes)]
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return self._map(fn, items)
+
+    @property
+    def using_pool(self) -> bool:
+        """Whether a live worker pool is currently attached."""
+        return self._executor is not None and not self._broken
+
+    @property
+    def stats(self) -> BackendStats:
+        return BackendStats(evaluations=self._evaluations)
+
+    def close(self) -> None:
+        self._shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+
+#: CLI-facing backend names.
+BACKEND_CHOICES = ("serial", "cached", "process")
+
+
+def make_backend(
+    config: "GAConfig", key_fn: KeyFn | None = None
+) -> EvaluationBackend:
+    """Backend implied by a :class:`GAConfig`'s ``workers``/``cache``."""
+    base: EvaluationBackend = (
+        SerialBackend()
+        if config.workers == 1
+        else ProcessPoolBackend(config.workers)
+    )
+    if config.cache:
+        return CachedBackend(base, key_fn=key_fn)
+    return base
+
+
+def backend_from_spec(
+    spec: str, workers: int = 1, key_fn: KeyFn | None = None
+) -> EvaluationBackend:
+    """Build a backend from a CLI-style name.
+
+    ``serial`` | ``cached`` | ``process`` — ``cached`` wraps the serial
+    or process base (depending on ``workers``) in a memoizer.
+    """
+    require(
+        spec in BACKEND_CHOICES,
+        f"unknown backend {spec!r}, expected one of {BACKEND_CHOICES}",
+    )
+    require_positive(workers, "workers")
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessPoolBackend(max(workers, 2))
+    base: EvaluationBackend = (
+        SerialBackend() if workers == 1 else ProcessPoolBackend(workers)
+    )
+    return CachedBackend(base, key_fn=key_fn)

@@ -5,21 +5,44 @@ in [0, 1]^n, decoded by the level-specific code. The engine provides
 tournament selection, uniform crossover, Gaussian mutation, elitism and
 stagnation-based early stopping — all driven by an explicit RNG so runs
 are reproducible.
+
+Fitness is evaluated **per population**, not per individual: each
+generation's genomes go to an :class:`~repro.core.ga.backends.EvaluationBackend`
+(serial, memoized or process-parallel — see :mod:`repro.core.ga.backends`)
+or to a user-supplied ``batch_fitness`` callable. Backends return values
+in input order and never consume engine RNG, so the search trajectory is
+bit-identical across backends for a fixed seed.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.ga.backends import (
+    BackendStats,
+    EvaluationBackend,
+    KeyFn,
+    make_backend,
+)
 from repro.utils.validation import require, require_positive
+
+#: Evaluates a whole population; returns fitnesses in input order.
+BatchFitness = Callable[[list[np.ndarray]], list[float]]
 
 
 @dataclass(frozen=True)
 class GAConfig:
-    """Hyper-parameters of one GA level."""
+    """Hyper-parameters of one GA level.
+
+    ``workers`` and ``cache`` select the default evaluation backend:
+    ``workers > 1`` fans population evaluation out over a process pool;
+    ``cache=True`` memoizes fitness so duplicate genomes (elites,
+    converged populations) are priced once. Defaults reproduce the
+    historical serial engine exactly.
+    """
 
     population_size: int = 24
     generations: int = 30
@@ -29,6 +52,8 @@ class GAConfig:
     tournament_size: int = 3
     elite_count: int = 2
     patience: int = 10  # stop after this many stagnant generations
+    workers: int = 1
+    cache: bool = False
 
     def __post_init__(self) -> None:
         require_positive(self.population_size, "population_size")
@@ -51,21 +76,47 @@ class GAConfig:
             "elite_count must be in [0, population_size)",
         )
         require_positive(self.patience, "patience")
+        require(
+            isinstance(self.workers, int) and not isinstance(self.workers, bool),
+            f"workers must be an int, got {self.workers!r}",
+        )
+        require_positive(self.workers, "workers")
+        require(
+            isinstance(self.cache, bool),
+            f"cache must be a bool, got {self.cache!r}",
+        )
 
 
 @dataclass
 class GAResult:
-    """Outcome of a GA run."""
+    """Outcome of a GA run.
+
+    ``evaluations`` counts actual fitness invocations — with a caching
+    backend that is the number of *unique* evaluations; ``cache_hits``
+    and ``cache_misses`` expose the memoizer's counters (zero for
+    uncached backends).
+    """
 
     best_genome: np.ndarray
     best_fitness: float
     history: list[float] = field(default_factory=list)
     evaluations: int = 0
     generations_run: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class GeneticAlgorithm:
-    """Minimizes ``fitness(genome)`` over [0, 1]^genome_length."""
+    """Minimizes ``fitness(genome)`` over [0, 1]^genome_length.
+
+    Evaluation goes through, in order of precedence:
+
+    1. ``batch_fitness`` — a caller-supplied population evaluator;
+    2. ``backend`` — an explicit :class:`EvaluationBackend`;
+    3. the backend implied by ``config.workers``/``config.cache``
+       (serial by default), built with ``key_fn`` as the memoization
+       key when caching is on.
+    """
 
     def __init__(
         self,
@@ -74,6 +125,9 @@ class GeneticAlgorithm:
         config: GAConfig,
         rng: np.random.Generator,
         seeds: list[np.ndarray] | None = None,
+        backend: EvaluationBackend | None = None,
+        batch_fitness: BatchFitness | None = None,
+        key_fn: KeyFn | None = None,
     ):
         require_positive(genome_length, "genome_length")
         self.genome_length = genome_length
@@ -86,6 +140,39 @@ class GeneticAlgorithm:
                 len(seed) == genome_length,
                 f"seed genome has length {len(seed)}, expected {genome_length}",
             )
+        self.batch_fitness = batch_fitness
+        self._owns_backend = backend is None and batch_fitness is None
+        self.backend = (
+            backend
+            if backend is not None
+            else (None if batch_fitness is not None else make_backend(config, key_fn))
+        )
+        self._batch_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_population(self, population: Sequence[np.ndarray]) -> np.ndarray:
+        genomes = [np.asarray(g) for g in population]
+        if self.batch_fitness is not None:
+            values = self.batch_fitness(genomes)
+            self._batch_evaluations += len(genomes)
+        else:
+            values = self.backend.evaluate(self.fitness, genomes)
+        require(
+            len(values) == len(genomes),
+            "population evaluation returned "
+            f"{len(values)} values for {len(genomes)} genomes",
+        )
+        return np.asarray(values, dtype=float)
+
+    def _stats(self) -> BackendStats:
+        # batch_fitness takes evaluation precedence (see __init__), so
+        # it must also own the counters even when a backend was passed.
+        if self.batch_fitness is not None:
+            return BackendStats(evaluations=self._batch_evaluations)
+        return self.backend.stats
 
     # ------------------------------------------------------------------
     # Operators
@@ -121,9 +208,16 @@ class GeneticAlgorithm:
     # ------------------------------------------------------------------
 
     def run(self) -> GAResult:
+        start = self._stats()
+        try:
+            return self._run(start)
+        finally:
+            if self._owns_backend and self.backend is not None:
+                self.backend.close()
+
+    def _run(self, start: BackendStats) -> GAResult:
         population = self._initial_population()
-        fitnesses = np.array([self.fitness(g) for g in population])
-        evaluations = len(population)
+        fitnesses = self._evaluate_population(population)
         best_index = int(np.argmin(fitnesses))
         best_genome = population[best_index].copy()
         best_fitness = float(fitnesses[best_index])
@@ -144,8 +238,7 @@ class GeneticAlgorithm:
                 child = self._mutate(self._crossover(parent_a, parent_b))
                 next_population.append(child)
             population = np.array(next_population)
-            fitnesses = np.array([self.fitness(g) for g in population])
-            evaluations += len(population)
+            fitnesses = self._evaluate_population(population)
 
             generation_best = int(np.argmin(fitnesses))
             if fitnesses[generation_best] < best_fitness - 1e-15:
@@ -158,10 +251,13 @@ class GeneticAlgorithm:
             if stagnant >= self.config.patience:
                 break
 
+        spent = self._stats().since(start)
         return GAResult(
             best_genome=best_genome,
             best_fitness=best_fitness,
             history=history,
-            evaluations=evaluations,
+            evaluations=spent.evaluations,
             generations_run=generations_run,
+            cache_hits=spent.cache_hits,
+            cache_misses=spent.cache_misses,
         )

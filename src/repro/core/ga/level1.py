@@ -16,7 +16,7 @@ is the full-mapping latency including inter-set transfers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -28,6 +28,12 @@ from repro.core.formulation import (
     LayerRange,
     Mapping,
     SetAssignment,
+)
+from repro.core.ga.backends import (
+    CachedBackend,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
 )
 from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
 from repro.core.ga.heuristics import (
@@ -65,6 +71,22 @@ class SearchBudget:
                 elite_count=1,
                 patience=4,
             ),
+        )
+
+    def with_backend(
+        self, workers: int | None = None, cache: bool | None = None
+    ) -> "SearchBudget":
+        """This budget with backend knobs applied to both GA levels."""
+        changes: dict = {}
+        if workers is not None:
+            changes["workers"] = workers
+        if cache is not None:
+            changes["cache"] = cache
+        if not changes:
+            return self
+        return SearchBudget(
+            level1=replace(self.level1, **changes),
+            level2=replace(self.level2, **changes),
         )
 
     @staticmethod
@@ -117,7 +139,7 @@ class Level1Search:
     rng: np.random.Generator
     objective: str = "latency"
     solution_cache: dict[tuple, SetSolution] = field(default_factory=dict)
-    _fitness_cache: dict[tuple, float] = field(default_factory=dict)
+    backend: EvaluationBackend | None = None
     level2_rng: np.random.Generator | None = None
 
     def __post_init__(self) -> None:
@@ -129,7 +151,24 @@ class Level1Search:
             self.objective in ("latency", "throughput"),
             f"objective must be 'latency' or 'throughput', got {self.objective!r}",
         )
-        self.partitions = candidate_partitions(self.topology)
+        self._owns_backend = self.backend is None
+        if self.backend is None:
+            # Level 1 has always memoized fitness at the phenotype level
+            # (the genome→mapping decode is massively many-to-one). The
+            # base stays serial regardless of ``workers``: level-1
+            # fitness is stateful — it consumes the shared level-2 RNG
+            # and fills the sub-problem solution cache — so shipping it
+            # to pool workers would fork that state. Parallelism goes to
+            # the level-2 GAs instead, whose fitness is stateless.
+            self.backend = CachedBackend(
+                SerialBackend(), key_fn=self.phenotype_key
+            )
+        self._level2_pool: ProcessPoolBackend | None = (
+            ProcessPoolBackend(self.budget.level2.workers)
+            if self.budget.level2.workers > 1
+            else None
+        )
+        self.partitions = candidate_partitions(self.topology, self.backend)
         self.max_sets = max(len(p) for p in self.partitions)
         self._compute_positions = [
             i
@@ -254,6 +293,7 @@ class Level1Search:
             design,
             self.budget.level2,
             self.level2_rng,
+            backend=self._level2_pool,
         )
         self.solution_cache[key] = solution
         return solution
@@ -277,19 +317,21 @@ class Level1Search:
         )
 
     def fitness(self, genome: np.ndarray) -> float:
+        """Latency (or pipeline interval) of one level-1 genome.
+
+        Memoization lives in the evaluation backend (phenotype-keyed by
+        default), not here — direct callers always get a fresh price.
+        """
         decoded = self.decode(genome)
-        key = self._decode_key(decoded)
-        cached = self._fitness_cache.get(key)
-        if cached is not None:
-            return cached
         mapping = self.build_mapping(decoded)
         evaluation = self.evaluator.evaluate_mapping(mapping)
         if self.objective == "throughput":
-            value = evaluation.pipeline_interval_seconds
-        else:
-            value = evaluation.latency_seconds
-        self._fitness_cache[key] = value
-        return value
+            return evaluation.pipeline_interval_seconds
+        return evaluation.latency_seconds
+
+    def phenotype_key(self, genome: np.ndarray) -> tuple:
+        """Hashable decoded-mapping key for cache-backed evaluation."""
+        return self._decode_key(self.decode(genome))
 
     def _decode_key(self, decoded: DecodedIndividual) -> tuple:
         return (
@@ -312,7 +354,7 @@ class Level1Search:
         seeds = []
         design_seed: list[float] = []
         if self.topology.kind == "adaptive":
-            profile = profile_designs(self.graph, self.designs)
+            profile = profile_designs(self.graph, self.designs, self.backend)
             design_seed = design_gene_seed(
                 profile, [d.name for d in self.designs]
             )
@@ -340,15 +382,22 @@ class Level1Search:
     # ------------------------------------------------------------------
 
     def run(self) -> tuple[Mapping, MappingEvaluation, GAResult]:
-        ga = GeneticAlgorithm(
-            genome_length=self.genome_length,
-            fitness=self.fitness,
-            config=self.budget.level1,
-            rng=self.rng,
-            seeds=self.seed_genomes(),
-        )
-        result = ga.run()
-        decoded = self.decode(result.best_genome)
-        mapping = self.build_mapping(decoded)
-        evaluation = self.evaluator.evaluate_mapping(mapping)
-        return mapping, evaluation, result
+        try:
+            ga = GeneticAlgorithm(
+                genome_length=self.genome_length,
+                fitness=self.fitness,
+                config=self.budget.level1,
+                rng=self.rng,
+                seeds=self.seed_genomes(),
+                backend=self.backend,
+            )
+            result = ga.run()
+            decoded = self.decode(result.best_genome)
+            mapping = self.build_mapping(decoded)
+            evaluation = self.evaluator.evaluate_mapping(mapping)
+            return mapping, evaluation, result
+        finally:
+            if self._level2_pool is not None:
+                self._level2_pool.close()
+            if self._owns_backend:
+                self.backend.close()

@@ -25,6 +25,11 @@ import numpy as np
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.core.evaluator import MappingEvaluator, SetEvaluation
+from repro.core.ga.backends import (
+    CachedBackend,
+    EvaluationBackend,
+    SerialBackend,
+)
 from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
 from repro.core.sharding import (
     NO_PARALLELISM,
@@ -111,25 +116,30 @@ SHORTLIST: tuple[ParallelismStrategy, ...] = (
 )
 
 
-def greedy_strategies(
-    evaluator: MappingEvaluator,
-    compute_nodes: list[LayerNode],
-    accs: tuple[int, ...],
-    design: AcceleratorDesign | None,
-) -> dict[str, ParallelismStrategy]:
-    """Per-layer argmin over the strategy shortlist, priced standalone.
+class GreedyLayerScorer:
+    """Picklable per-layer argmin over the strategy shortlist.
 
-    Ignores inter-layer resharding (the GA refines that), but includes
-    compute, collectives, rotations and — in the streaming scenario —
-    weight loads, so it lands close to the per-layer optimum.
+    Module-level (rather than a closure) so a
+    :class:`~repro.core.ga.backends.ProcessPoolBackend` can ship it to
+    workers and score layers concurrently.
     """
-    result = {}
-    for node in compute_nodes:
+
+    def __init__(
+        self,
+        evaluator: MappingEvaluator,
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.accs = accs
+        self.design = design
+
+    def __call__(self, node: LayerNode) -> ParallelismStrategy:
         best: tuple[float, int] | None = None
         best_strategy = NO_PARALLELISM
         for index, strategy in enumerate(SHORTLIST):
-            evaluation = evaluator.evaluate_set(
-                [node], accs, design, {node.name: strategy}
+            evaluation = self.evaluator.evaluate_set(
+                [node], self.accs, self.design, {node.name: strategy}
             )
             if not evaluation.feasible:
                 continue
@@ -137,8 +147,26 @@ def greedy_strategies(
             if best is None or key < best:
                 best = key
                 best_strategy = strategy
-        result[node.name] = best_strategy
-    return result
+        return best_strategy
+
+
+def greedy_strategies(
+    evaluator: MappingEvaluator,
+    compute_nodes: list[LayerNode],
+    accs: tuple[int, ...],
+    design: AcceleratorDesign | None,
+    backend: EvaluationBackend | None = None,
+) -> dict[str, ParallelismStrategy]:
+    """Per-layer argmin over the strategy shortlist, priced standalone.
+
+    Ignores inter-layer resharding (the GA refines that), but includes
+    compute, collectives, rotations and — in the streaming scenario —
+    weight loads, so it lands close to the per-layer optimum. With a
+    parallel ``backend``, layers are scored concurrently.
+    """
+    scorer = GreedyLayerScorer(evaluator, accs, design)
+    chosen = (backend or SerialBackend()).map(scorer, compute_nodes)
+    return {node.name: strategy for node, strategy in zip(compute_nodes, chosen)}
 
 
 def _seed_genomes(
@@ -147,6 +175,7 @@ def _seed_genomes(
     evaluator: MappingEvaluator | None = None,
     accs: tuple[int, ...] | None = None,
     design: AcceleratorDesign | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> list[np.ndarray]:
     """Heuristic first-generation individuals.
 
@@ -180,9 +209,59 @@ def _seed_genomes(
         ),
     ]
     if evaluator is not None and accs is not None:
-        greedy = greedy_strategies(evaluator, compute, accs, design)
+        greedy = greedy_strategies(evaluator, compute, accs, design, backend)
         seeds.insert(0, genome_for(lambda n: greedy[n.name]))
     return seeds
+
+
+class Level2Fitness:
+    """Picklable fitness of one level-2 sub-problem.
+
+    Decodes a genome into per-layer strategies and prices the whole set
+    through the shared evaluator. Being a module-level class (not a
+    closure) it pickles cleanly, so the same object drives the serial,
+    cached and process-pool backends. ``phenotype_key`` exposes the
+    decoded strategies as a hashable key: the continuous genome decodes
+    many-to-one, which is where a
+    :class:`~repro.core.ga.backends.CachedBackend` earns its hit rate.
+    """
+
+    def __init__(
+        self,
+        evaluator: MappingEvaluator,
+        nodes: list[LayerNode],
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.nodes = nodes
+        self.compute_nodes = [n for n in nodes if n.is_compute]
+        self.accs = accs
+        self.design = design
+        self.dtype_bytes = evaluator.options.dtype_bytes
+
+    @property
+    def genome_length(self) -> int:
+        return len(self.compute_nodes) * GENES_PER_LAYER
+
+    def decode(self, genome: np.ndarray) -> dict[str, ParallelismStrategy]:
+        parallelism = len(self.accs)
+        strategies = {}
+        for i, node in enumerate(self.compute_nodes):
+            genes = genome[i * GENES_PER_LAYER : (i + 1) * GENES_PER_LAYER]
+            strategies[node.name] = decode_layer_strategy(
+                genes, node, parallelism, self.dtype_bytes
+            )
+        return strategies
+
+    def phenotype_key(self, genome: np.ndarray) -> tuple:
+        strategies = self.decode(genome)
+        return tuple(strategies[n.name] for n in self.compute_nodes)
+
+    def __call__(self, genome: np.ndarray) -> float:
+        return self.evaluator.evaluate_set(
+            self.nodes, self.accs, self.design, self.decode(genome)
+        ).latency_seconds
 
 
 def optimize_set(
@@ -192,8 +271,18 @@ def optimize_set(
     design: AcceleratorDesign | None,
     config: GAConfig,
     rng: np.random.Generator,
+    backend: EvaluationBackend | None = None,
 ) -> SetSolution:
-    """Run the second-level GA on one sub-problem."""
+    """Run the second-level GA on one sub-problem.
+
+    ``backend`` overrides the evaluation backend; by default the engine
+    builds one from ``config.workers``/``config.cache``, memoizing on
+    the decoded phenotype when caching is enabled. An explicit backend
+    may be shared across sub-problems (e.g. one process pool for the
+    whole level-1 search); when ``config.cache`` is set it is wrapped in
+    a *fresh* per-sub-problem memoizer, since phenotype keys are only
+    unique within one sub-problem.
+    """
     compute_nodes = [n for n in nodes if n.is_compute]
     parallelism = len(accs)
 
@@ -202,31 +291,25 @@ def optimize_set(
         evaluation = evaluator.evaluate_set(nodes, accs, design, strategies)
         return SetSolution(strategies, evaluation.latency_seconds, evaluation)
 
-    dtype = evaluator.options.dtype_bytes
-
-    def decode(genome: np.ndarray) -> dict[str, ParallelismStrategy]:
-        strategies = {}
-        for i, node in enumerate(compute_nodes):
-            genes = genome[i * GENES_PER_LAYER : (i + 1) * GENES_PER_LAYER]
-            strategies[node.name] = decode_layer_strategy(
-                genes, node, parallelism, dtype
-            )
-        return strategies
-
-    def fitness(genome: np.ndarray) -> float:
-        return evaluator.evaluate_set(
-            nodes, accs, design, decode(genome)
-        ).latency_seconds
-
+    fitness = Level2Fitness(evaluator, nodes, accs, design)
+    engine_backend = backend
+    if (
+        backend is not None
+        and config.cache
+        and not isinstance(backend, CachedBackend)
+    ):
+        engine_backend = CachedBackend(backend, key_fn=fitness.phenotype_key)
     ga = GeneticAlgorithm(
-        genome_length=len(compute_nodes) * GENES_PER_LAYER,
+        genome_length=fitness.genome_length,
         fitness=fitness,
         config=config,
         rng=rng,
-        seeds=_seed_genomes(nodes, parallelism, evaluator, accs, design),
+        seeds=_seed_genomes(nodes, parallelism, evaluator, accs, design, backend),
+        backend=engine_backend,
+        key_fn=fitness.phenotype_key,
     )
     result = ga.run()
-    best_strategies = decode(result.best_genome)
+    best_strategies = fitness.decode(result.best_genome)
     evaluation = evaluator.evaluate_set(nodes, accs, design, best_strategies)
     return SetSolution(
         strategies=best_strategies,

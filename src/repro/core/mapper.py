@@ -64,6 +64,11 @@ class Mars:
         designs: Design catalog for adaptive systems (Table II default).
         budget: GA budgets for the two levels.
         options: Cost-model knobs.
+        workers: Override both levels' evaluation parallelism (process
+            pool fan-out when > 1); ``None`` keeps the budget's values.
+        cache: Override both levels' fitness memoization; ``None`` keeps
+            the budget's values. Backends never change results — only
+            wall-clock.
     """
 
     graph: ComputationGraph
@@ -72,6 +77,8 @@ class Mars:
     budget: SearchBudget = field(default_factory=SearchBudget.fast)
     options: EvaluatorOptions = field(default_factory=EvaluatorOptions)
     objective: str = "latency"
+    workers: int | None = None
+    cache: bool | None = None
 
     def search(self, seed: int = 0) -> MarsResult:
         """Run the two-level GA and return the best mapping found."""
@@ -81,7 +88,7 @@ class Mars:
             topology=self.topology,
             designs=self.designs if self.topology.kind == "adaptive" else [],
             evaluator=evaluator,
-            budget=self.budget,
+            budget=self.budget.with_backend(self.workers, self.cache),
             rng=make_rng(seed),
             objective=self.objective,
         )

@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments table2
     python -m repro.experiments table3 --models alexnet vgg16 --budget fast
     python -m repro.experiments table4 --budget paper --seed 1
+    python -m repro.experiments table3 --workers 4 --cache
+
+``--workers``/``--cache`` select the GA evaluation backend (process-pool
+fan-out and fitness memoization); they change wall-clock only — for a
+fixed seed every backend reproduces the same tables.
 """
 
 from __future__ import annotations
@@ -17,8 +22,9 @@ from repro.dnn.models import TABLE3_MODELS, TABLE4_MODELS
 from repro.experiments import run_table2, run_table3, run_table4
 
 
-def _budget(name: str) -> SearchBudget:
-    return SearchBudget.paper() if name == "paper" else SearchBudget.fast()
+def _budget(name: str, workers: int = 1, cache: bool = False) -> SearchBudget:
+    budget = SearchBudget.paper() if name == "paper" else SearchBudget.fast()
+    return budget.with_backend(workers=workers, cache=cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,22 +45,41 @@ def main(argv: list[str] | None = None) -> int:
         "--budget", choices=["fast", "paper"], default="fast"
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="GA evaluation workers (> 1 fans fitness out over a process pool)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize GA fitness evaluations (identical results, fewer evals)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
 
+    budget = _budget(args.budget, workers=args.workers, cache=args.cache)
     if args.experiment == "table2":
+        from repro.core.ga import ProcessPoolBackend
+
         models = tuple(args.models) if args.models else TABLE3_MODELS
-        print(run_table2(models=models).to_text())
+        backend = (
+            ProcessPoolBackend(args.workers) if args.workers > 1 else None
+        )
+        try:
+            print(run_table2(models=models, backend=backend).to_text())
+        finally:
+            if backend is not None:
+                backend.close()
     elif args.experiment == "table3":
         models = tuple(args.models) if args.models else TABLE3_MODELS
-        result = run_table3(
-            models=models, budget=_budget(args.budget), seed=args.seed
-        )
+        result = run_table3(models=models, budget=budget, seed=args.seed)
         print(result.to_text())
     else:
         models = tuple(args.models) if args.models else TABLE4_MODELS
-        result = run_table4(
-            models=models, budget=_budget(args.budget), seed=args.seed
-        )
+        result = run_table4(models=models, budget=budget, seed=args.seed)
         print(result.to_text())
     return 0
 

@@ -1,0 +1,154 @@
+"""Backend selection must never change search results — only wall-clock."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.accelerators import design1_superlip, table2_designs
+from repro.accelerators.profiler import profile_designs
+from repro.core.evaluator import MappingEvaluator
+from repro.core.ga import (
+    CachedBackend,
+    GAConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    greedy_strategies,
+    optimize_set,
+)
+from repro.core.mapper import Mars
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_model("tiny_cnn")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return f1_16xlarge()
+
+
+@pytest.fixture(scope="module")
+def evaluator(graph, topology):
+    return MappingEvaluator(graph, topology)
+
+
+CONFIG = GAConfig(population_size=6, generations=4, elite_count=1)
+
+
+class TestLevel2Equivalence:
+    def _solve(self, evaluator, graph, backend=None, config=CONFIG):
+        return optimize_set(
+            evaluator,
+            graph.nodes(),
+            (0, 1, 2, 3),
+            design1_superlip(),
+            config,
+            make_rng(0),
+            backend=backend,
+        )
+
+    def test_explicit_backends_match_serial(self, graph, evaluator):
+        serial = self._solve(evaluator, graph, SerialBackend())
+        cached = self._solve(evaluator, graph, CachedBackend())
+        assert cached.latency_seconds == serial.latency_seconds
+        assert cached.strategies == serial.strategies
+        assert cached.ga.history == serial.ga.history
+
+    def test_config_cache_matches_serial(self, graph, evaluator):
+        serial = self._solve(evaluator, graph)
+        cached = self._solve(
+            evaluator, graph, config=replace(CONFIG, cache=True)
+        )
+        assert cached.latency_seconds == serial.latency_seconds
+        assert cached.ga.history == serial.ga.history
+        # The continuous genome decodes many-to-one onto strategies, so
+        # phenotype memoization must save work.
+        assert cached.ga.evaluations < serial.ga.evaluations
+        assert cached.ga.cache_hits > 0
+
+    def test_process_pool_matches_serial(self, graph, evaluator):
+        serial = self._solve(evaluator, graph)
+        with ProcessPoolBackend(workers=2) as backend:
+            pooled = self._solve(evaluator, graph, backend)
+        assert pooled.latency_seconds == serial.latency_seconds
+        assert pooled.ga.history == serial.ga.history
+
+
+class TestMarsEquivalence:
+    def test_cache_knob_matches_default(self, graph, topology):
+        base = Mars(graph, topology).search(seed=0)
+        cached = Mars(graph, topology, cache=True).search(seed=0)
+        assert cached.latency_ms == base.latency_ms
+        assert cached.ga.history == base.ga.history
+        assert cached.describe() == base.describe()
+
+    def test_worker_knob_matches_default(self, graph, topology):
+        base = Mars(graph, topology).search(seed=1)
+        parallel = Mars(graph, topology, workers=2).search(seed=1)
+        assert parallel.latency_ms == base.latency_ms
+        assert parallel.ga.history == base.ga.history
+        assert parallel.describe() == base.describe()
+
+    def test_level1_reports_cache_activity(self, graph, topology):
+        result = Mars(graph, topology).search(seed=0)
+        # Level 1 always memoizes on the decoded phenotype; a fast-budget
+        # search revisits mappings constantly.
+        assert result.ga.cache_hits > 0
+        assert result.ga.evaluations == result.ga.cache_misses
+
+    def test_parallel_search_keeps_solution_cache_and_closes_pool(
+        self, graph, topology
+    ):
+        """Regression: workers > 1 must not fork level-1 state into pool
+        workers (losing sub-problem solutions) nor leak the pool."""
+        from repro.accelerators import table2_designs
+        from repro.core.ga import Level1Search, SearchBudget
+
+        def run_search(workers):
+            search = Level1Search(
+                graph=graph,
+                topology=topology,
+                designs=table2_designs(),
+                evaluator=MappingEvaluator(graph, topology),
+                budget=SearchBudget.fast().with_backend(workers=workers),
+                rng=make_rng(0),
+            )
+            result = search.run()
+            return search, result
+
+        serial_search, serial = run_search(1)
+        parallel_search, parallel = run_search(2)
+        assert parallel[2].history == serial[2].history
+        # The sub-problem cache fills in the parent process either way.
+        assert set(parallel_search.solution_cache) == set(
+            serial_search.solution_cache
+        )
+        assert parallel_search.solution_cache
+        # run() shuts the shared level-2 pool down.
+        assert parallel_search._level2_pool is not None
+        assert parallel_search._level2_pool._executor is None
+
+
+class TestHelperBackendPaths:
+    def test_greedy_strategies_backend_equivalence(self, graph, evaluator):
+        nodes = graph.compute_nodes()
+        serial = greedy_strategies(
+            evaluator, nodes, (0, 1), design1_superlip()
+        )
+        with ProcessPoolBackend(workers=2) as backend:
+            pooled = greedy_strategies(
+                evaluator, nodes, (0, 1), design1_superlip(), backend
+            )
+        assert pooled == serial
+
+    def test_profile_designs_backend_equivalence(self, graph):
+        designs = table2_designs()
+        serial = profile_designs(graph, designs)
+        with ProcessPoolBackend(workers=2) as backend:
+            pooled = profile_designs(graph, designs, backend)
+        assert pooled.total_cycles == serial.total_cycles
+        assert pooled.normalized_scores() == serial.normalized_scores()
