@@ -8,6 +8,7 @@ capture.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -21,6 +22,17 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist machine-readable numbers to ``reports/BENCH_{name}.json``.
+
+    Companion to :func:`emit`: the text report is for humans, the JSON
+    one feeds regression tooling (CI trend lines, cross-run diffing).
+    """
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def search_budget() -> SearchBudget:

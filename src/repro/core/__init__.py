@@ -13,6 +13,7 @@ the entry point; the submodules expose each piece for direct use:
 
 from repro.core.evaluator import (
     EvaluatorOptions,
+    LayerCacheStats,
     MappingEvaluation,
     MappingEvaluator,
 )
@@ -27,7 +28,9 @@ from repro.core.sharding import (
     NO_PARALLELISM,
     ParallelismStrategy,
     ShardingPlan,
+    cached_sharding_plan,
     make_sharding_plan,
+    sharding_signature,
 )
 from repro.core.strategy_space import (
     enumerate_strategies,
@@ -38,6 +41,7 @@ from repro.core.strategy_space import (
 __all__ = [
     "AcceleratorSet",
     "EvaluatorOptions",
+    "LayerCacheStats",
     "LayerRange",
     "Mapping",
     "MappingEvaluation",
@@ -48,8 +52,10 @@ __all__ = [
     "ParallelismStrategy",
     "SetAssignment",
     "ShardingPlan",
+    "cached_sharding_plan",
     "enumerate_strategies",
     "feasible_strategies",
     "longest_dims_strategy",
     "make_sharding_plan",
+    "sharding_signature",
 ]

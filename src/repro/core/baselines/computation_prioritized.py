@@ -37,7 +37,7 @@ from repro.core.formulation import (
 from repro.core.sharding import (
     NO_PARALLELISM,
     ParallelismStrategy,
-    make_sharding_plan,
+    cached_sharding_plan,
 )
 from repro.core.strategy_space import longest_dims_strategy
 from repro.dnn.graph import ComputationGraph, LayerNode
@@ -91,7 +91,7 @@ def _feasible_longest_dims(
     """ES on the longest two dims, degrading gracefully on small layers."""
     for count in (2, 1):
         strategy = longest_dims_strategy(node.conv_spec(), count)
-        if make_sharding_plan(node.conv_spec(), strategy, parallelism, dtype_bytes):
+        if cached_sharding_plan(node.conv_spec(), strategy, parallelism, dtype_bytes):
             return strategy
     return NO_PARALLELISM
 
@@ -102,11 +102,15 @@ def computation_prioritized_mapping(
     designs: list[AcceleratorDesign],
     options: EvaluatorOptions | None = None,
     backend: EvaluationBackend | None = None,
+    evaluator: MappingEvaluator | None = None,
 ) -> BaselineResult:
     """Run the Section VI-A baseline and evaluate it.
 
     Per-layer strategy selection goes through ``backend.map`` (serial by
     default), so the baseline shares the search's evaluation backends.
+    Pass ``evaluator`` (bound to the same graph/topology) to share a
+    warm layer-cost cache with a MARS search on the same workload —
+    Table III prices both through one evaluator.
     """
     require(
         topology.kind == "adaptive",
@@ -125,7 +129,20 @@ def computation_prioritized_mapping(
     ranges = [LayerRange(0, cut), LayerRange(cut, len(nodes))]
     acc_sets = [AcceleratorSet(tuple(first_group)), AcceleratorSet(tuple(second_group))]
 
-    opts = options or EvaluatorOptions()
+    require(
+        evaluator is None
+        or (evaluator.graph is graph and evaluator.topology is topology),
+        "the shared evaluator must be bound to this exact graph and "
+        "topology (its comm model and layer-cost cache assume them)",
+    )
+    require(
+        evaluator is None or options is None or options == evaluator.options,
+        "pass either options or an evaluator (whose options then apply), "
+        "not conflicting values of both",
+    )
+    opts = evaluator.options if evaluator is not None else (
+        options or EvaluatorOptions()
+    )
     resolved_backend = backend or SerialBackend()
     assignments = []
     for layer_range, acc_set in zip(ranges, acc_sets):
@@ -154,6 +171,7 @@ def computation_prioritized_mapping(
         )
 
     mapping = Mapping(graph=graph, topology=topology, assignments=assignments)
-    evaluator = MappingEvaluator(graph, topology, opts)
+    if evaluator is None:
+        evaluator = MappingEvaluator(graph, topology, opts)
     evaluation = evaluator.evaluate_mapping(mapping)
     return BaselineResult(mapping=mapping, evaluation=evaluation)

@@ -106,13 +106,35 @@ def h2h_mapping(
     options: EvaluatorOptions | None = None,
     max_segments: int | None = None,
     backend: EvaluationBackend | None = None,
+    evaluator: MappingEvaluator | None = None,
 ) -> H2HResult:
-    """Exact DP over contiguous segmentations onto distinct accelerators."""
+    """Exact DP over contiguous segmentations onto distinct accelerators.
+
+    Pass ``evaluator`` (bound to this exact graph and topology) to
+    reuse a warm layer-cost cache across repeated mappings *on the same
+    system* — e.g. re-mapping several candidate segmentations, or
+    pricing H2H next to a MARS search that shares the evaluator. A
+    bandwidth sweep builds a new topology per level and therefore needs
+    a fresh evaluator per level (enforced below).
+    """
     require(
         topology.kind == "fixed",
         "the H2H mapper targets fixed heterogeneous systems",
     )
-    opts = options or EvaluatorOptions()
+    require(
+        evaluator is None
+        or (evaluator.graph is graph and evaluator.topology is topology),
+        "the shared evaluator must be bound to this exact graph and "
+        "topology (its comm model and layer-cost cache assume them)",
+    )
+    require(
+        evaluator is None or options is None or options == evaluator.options,
+        "pass either options or an evaluator (whose options then apply), "
+        "not conflicting values of both",
+    )
+    opts = evaluator.options if evaluator is not None else (
+        options or EvaluatorOptions()
+    )
     nodes = graph.nodes()
     n_accs = topology.num_accelerators
     limit = min(max_segments or n_accs, n_accs)
@@ -221,6 +243,7 @@ def h2h_mapping(
         for start, stop, acc in segments
     ]
     mapping = Mapping(graph=graph, topology=topology, assignments=assignments)
-    evaluator = MappingEvaluator(graph, topology, opts)
+    if evaluator is None:
+        evaluator = MappingEvaluator(graph, topology, opts)
     evaluation = evaluator.evaluate_mapping(mapping)
     return H2HResult(mapping=mapping, evaluation=evaluation)

@@ -25,7 +25,13 @@ from dataclasses import dataclass, field
 from repro.accelerators.base import AcceleratorDesign, cached_conv_cycles
 from repro.core.formulation import Mapping, SetAssignment
 from repro.core.memory_check import SetMemoryReport, set_memory_report
-from repro.core.sharding import ParallelismStrategy, ShardingPlan, make_sharding_plan
+from repro.core.sharding import (
+    NO_PARALLELISM,
+    ParallelismStrategy,
+    ShardingPlan,
+    cached_sharding_plan,
+    sharding_signature,
+)
 from repro.dnn.graph import ComputationGraph, LayerNode
 from repro.dnn.layers import LoopDim
 from repro.simulator.analytical import AnalyticalCommModel
@@ -37,7 +43,8 @@ from repro.simulator.program import (
     TransferStep,
 )
 from repro.system.topology import SystemTopology
-from repro.utils.validation import require
+from repro.utils.cache import LruCache
+from repro.utils.validation import require, require_positive
 
 #: Latency assigned to strategies with no feasible sharding plan. Large
 #: but finite so the GA can still rank broken genomes.
@@ -65,6 +72,17 @@ class EvaluatorOptions:
             weight shards from host memory — sharding then also divides
             the load traffic, which is where multi-accelerator sets
             amortize the host bandwidth.
+        layer_cache: Memoize per-layer cost computations in an
+            evaluator-owned bounded LRU, keyed on (layer, strategy,
+            upstream sharding, accelerator set, design); the options
+            are part of the key by construction, being fixed for the
+            evaluator that owns the cache.
+            Results are bit-identical with the cache on or off — a hit
+            replays the exact floats of the original computation — so
+            this is purely a wall-clock knob. Program emission
+            (``compile_program``) always bypasses the cache.
+        layer_cache_capacity: Maximum number of cached layer-cost
+            entries before LRU eviction.
     """
 
     dtype_bytes: int = 2
@@ -73,6 +91,44 @@ class EvaluatorOptions:
     include_halo: bool = True
     memory_spill: bool = True
     weights_resident: bool = True
+    layer_cache: bool = True
+    layer_cache_capacity: int = 65536
+
+
+@dataclass(frozen=True)
+class LayerCacheStats:
+    """Counters of the evaluator's per-layer cost cache.
+
+    ``hits``/``misses``/``evictions`` are cumulative counters;
+    ``entries`` is the current cache population (a gauge).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def since(self, earlier: "LayerCacheStats") -> "LayerCacheStats":
+        """Counter deltas relative to an earlier snapshot.
+
+        ``entries`` keeps its current (gauge) value rather than being
+        differenced.
+        """
+        return LayerCacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            entries=self.entries,
+            evictions=self.evictions - earlier.evictions,
+        )
 
 
 @dataclass
@@ -191,7 +247,21 @@ def _alignment_fraction(
 
 
 class MappingEvaluator:
-    """Prices mappings on a system with a fixed workload."""
+    """Prices mappings on a system with a fixed workload.
+
+    Layer costs are computed by a pure per-layer function and memoized
+    in an evaluator-owned bounded LRU (see
+    :attr:`EvaluatorOptions.layer_cache`): ``evaluate_set`` is a walk
+    that threads sharding state through cached :class:`LayerCost`
+    entries and only recomputes layers whose key — (layer, strategy,
+    upstream sharding, accelerator set, design) — changed; the options
+    are fixed at construction, so they are part of the key by
+    construction.
+    This is what makes GA mutations cheap: a genome that differs from
+    an already-priced one in a single layer's strategy re-prices that
+    layer (and any downstream layers whose upstream sharding shifted),
+    not the whole set.
+    """
 
     def __init__(
         self,
@@ -205,6 +275,71 @@ class MappingEvaluator:
         self.comm = AnalyticalCommModel(topology)
         self._nodes = graph.nodes()
         self._index = {node.name: i for i, node in enumerate(self._nodes)}
+        if self.options.layer_cache:
+            require_positive(
+                self.options.layer_cache_capacity, "layer_cache_capacity"
+            )
+        self._layer_cache = (
+            LruCache(self.options.layer_cache_capacity)
+            if self.options.layer_cache
+            else None
+        )
+        # Designs interned to small ints so per-layer key hashing never
+        # re-hashes a whole AcceleratorDesign. Keyed by object equality:
+        # same-named design variants (sweeps) get distinct tokens.
+        self._design_tokens: dict[AcceleratorDesign, int] = {}
+
+    def __getstate__(self) -> dict:
+        # The layer cache never rides along when the evaluator is
+        # pickled (process-pool fan-out ships the fitness — and thus the
+        # evaluator — once per batch, and a growing cache would change
+        # the payload bytes every batch, defeating the workers' payload
+        # memo). Workers rebuild an empty cache and warm it locally.
+        state = dict(self.__dict__)
+        state["_layer_cache"] = None
+        state["_design_tokens"] = {}  # tokens only index the live cache
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.options.layer_cache:
+            self._layer_cache = LruCache(self.options.layer_cache_capacity)
+
+    def _design_token(self, design: AcceleratorDesign | None) -> int:
+        """Stable small-int identity of a design within this evaluator."""
+        if design is None:
+            return -1  # fixed topology: designs are implied by the accs
+        token = self._design_tokens.get(design)
+        if token is None:
+            token = len(self._design_tokens)
+            self._design_tokens[design] = token
+        return token
+
+    # ------------------------------------------------------------------
+    # Layer-cost cache
+    # ------------------------------------------------------------------
+
+    @property
+    def layer_cache_enabled(self) -> bool:
+        return self._layer_cache is not None
+
+    @property
+    def layer_cache_stats(self) -> LayerCacheStats:
+        """Current counters of the per-layer cost cache (zeros when off)."""
+        cache = self._layer_cache
+        if cache is None:
+            return LayerCacheStats()
+        return LayerCacheStats(
+            hits=cache.hits,
+            misses=cache.misses,
+            entries=len(cache),
+            evictions=cache.evictions,
+        )
+
+    def clear_layer_cache(self) -> None:
+        """Drop all cached layer costs (counters survive)."""
+        if self._layer_cache is not None:
+            self._layer_cache.clear()
 
     # ------------------------------------------------------------------
     # Per-set evaluation (the level-2 GA fitness)
@@ -246,7 +381,14 @@ class MappingEvaluator:
         require(bool(nodes), "cannot evaluate an empty layer set")
         designs = self.designs_for(accs, design)
         p = len(accs)
-        dtype = self.options.dtype_bytes
+        # Program emission interleaves side effects with pricing, so it
+        # always recomputes; the pure-cost GA path goes through the
+        # layer cache. The design keys by interned object identity —
+        # not by name — so same-named design variants in a sweep never
+        # share entries; options need no key part because they are
+        # fixed at construction and the cache is evaluator-owned.
+        cache = self._layer_cache if program is None else None
+        set_key = (accs, self._design_token(design))
         # Per-node output sharding; ``None`` marks "aligned with whatever
         # the consumer needs" (set entries and freshly loaded inputs,
         # whose distribution cost is charged elsewhere).
@@ -262,8 +404,10 @@ class MappingEvaluator:
                 node, sharding_state, member_names, entry_sharding
             )
             if node.is_compute:
-                cost, plan = self._compute_layer_cost(
-                    node, accs, designs, strategies, upstream, p, program
+                strategy = strategies.get(node.name, NO_PARALLELISM)
+                cost, plan = self._priced_compute_cost(
+                    node, strategy, upstream, accs, designs, set_key,
+                    p, program, cache,
                 )
                 if plan is None:
                     feasible = False
@@ -272,16 +416,12 @@ class MappingEvaluator:
                     sharding_state[node.name] = plan.output_sharding
                 costs.append(cost)
             else:
-                cost = self._lightweight_layer_cost(node, accs, designs, program)
+                cost, state, shard_bytes = self._priced_lightweight_cost(
+                    node, upstream, accs, designs, set_key, p, program, cache
+                )
                 costs.append(cost)
-                if node.kind == "inputlayer":
-                    sharding_state[node.name] = None  # host load is aligned
-                else:
-                    sharding_state[node.name] = self._propagate_state(
-                        node, upstream
-                    )
-                shard_numel = math.ceil(node.output_shape.numel / max(1, p))
-                lightweight_bytes.append(shard_numel * dtype)
+                sharding_state[node.name] = state
+                lightweight_bytes.append(shard_bytes)
 
         memory = set_memory_report(
             plans,
@@ -344,12 +484,10 @@ class MappingEvaluator:
         host_seconds = 0.0
         for assignment in mapping.assignments:
             nodes = mapping.nodes_of(assignment)
-            if program is not None and self.options.include_host_input:
+            if self.options.include_host_input:
                 host_seconds += self._charge_host_inputs(
                     nodes, assignment, program
                 )
-            elif self.options.include_host_input:
-                host_seconds += self._charge_host_inputs(nodes, assignment, None)
             set_evals.append(
                 self.evaluate_set(
                     nodes,
@@ -406,19 +544,135 @@ class MappingEvaluator:
                 return dict(entry_sharding) if entry_sharding else None
         return dict(entry_sharding) if entry_sharding else None
 
+    def _priced_compute_cost(
+        self,
+        node: LayerNode,
+        strategy: ParallelismStrategy,
+        upstream: dict[LoopDim, int] | None,
+        accs: tuple[int, ...],
+        designs: list[AcceleratorDesign],
+        set_key: tuple,
+        p: int,
+        program: ExecutionProgram | None,
+        cache: LruCache | None,
+    ) -> tuple[LayerCost, ShardingPlan | None]:
+        """Compute-layer cost, through the layer cache when enabled.
+
+        A hit replays the exact floats (and the shared, immutable
+        :class:`~repro.core.sharding.ShardingPlan`) of the original
+        computation, so cached and uncached evaluations are
+        bit-identical; only a fresh :class:`LayerCost` shell is built
+        per call so callers can never alias cached state.
+        """
+        if cache is None:
+            return self._compute_layer_cost(
+                node, accs, designs, strategy, upstream, p, program
+            )
+        key = (
+            node.name,
+            strategy,
+            sharding_signature(upstream),
+            set_key,
+        )
+        record = cache.get(key)
+        if record is None:
+            cost, plan = self._compute_layer_cost(
+                node, accs, designs, strategy, upstream, p, None
+            )
+            cache.put(
+                key,
+                (
+                    (
+                        cost.compute_seconds,
+                        cost.resharding_seconds,
+                        cost.allreduce_seconds,
+                        cost.rotation_seconds,
+                        cost.halo_seconds,
+                    ),
+                    plan,
+                ),
+            )
+            return cost, plan
+        seconds, plan = record
+        return (
+            LayerCost(node.name, *seconds, plan=plan),
+            plan,
+        )
+
+    def _priced_lightweight_cost(
+        self,
+        node: LayerNode,
+        upstream: dict[LoopDim, int] | None,
+        accs: tuple[int, ...],
+        designs: list[AcceleratorDesign],
+        set_key: tuple,
+        p: int,
+        program: ExecutionProgram | None,
+        cache: LruCache | None,
+    ) -> tuple[LayerCost, dict[LoopDim, int] | None, int]:
+        """Non-compute layer cost + propagated state, cache-aware.
+
+        Returns ``(cost, downstream sharding state, sharded activation
+        bytes)``. The state is stored in the cache as its canonical
+        signature and rebuilt per hit, so cached entries stay immutable.
+        """
+        if cache is None:
+            return self._lightweight_layer_walk(
+                node, upstream, accs, designs, p, program
+            )
+        key = (
+            node.name,
+            None,  # non-compute layers carry no strategy
+            sharding_signature(upstream),
+            set_key,
+        )
+        record = cache.get(key)
+        if record is None:
+            cost, state, shard_bytes = self._lightweight_layer_walk(
+                node, upstream, accs, designs, p, None
+            )
+            cache.put(
+                key,
+                (
+                    cost.compute_seconds,
+                    sharding_signature(state),
+                    shard_bytes,
+                ),
+            )
+            return cost, state, shard_bytes
+        seconds, state_sig, shard_bytes = record
+        state = None if state_sig is None else dict(state_sig)
+        return LayerCost(name=node.name, compute_seconds=seconds), state, shard_bytes
+
+    def _lightweight_layer_walk(
+        self,
+        node: LayerNode,
+        upstream: dict[LoopDim, int] | None,
+        accs: tuple[int, ...],
+        designs: list[AcceleratorDesign],
+        p: int,
+        program: ExecutionProgram | None,
+    ) -> tuple[LayerCost, dict[LoopDim, int] | None, int]:
+        cost = self._lightweight_layer_cost(node, accs, designs, program)
+        if node.kind == "inputlayer":
+            state = None  # host load is aligned
+        else:
+            state = self._propagate_state(node, upstream)
+        shard_numel = math.ceil(node.output_shape.numel / max(1, p))
+        return cost, state, shard_numel * self.options.dtype_bytes
+
     def _compute_layer_cost(
         self,
         node: LayerNode,
         accs: tuple[int, ...],
         designs: list[AcceleratorDesign],
-        strategies: dict[str, ParallelismStrategy],
+        strategy: ParallelismStrategy,
         upstream: dict[LoopDim, int] | None,
         p: int,
         program: ExecutionProgram | None,
     ) -> tuple[LayerCost, ShardingPlan | None]:
         spec = node.conv_spec()
-        strategy = strategies.get(node.name, ParallelismStrategy())
-        plan = make_sharding_plan(spec, strategy, p, self.options.dtype_bytes)
+        plan = cached_sharding_plan(spec, strategy, p, self.options.dtype_bytes)
         if plan is None:
             return (
                 LayerCost(name=node.name, compute_seconds=INFEASIBLE_SECONDS),
@@ -650,7 +904,7 @@ class MappingEvaluator:
             strategy = assignment.strategies.get(node.name)
             if strategy is None:
                 break
-            plan = make_sharding_plan(
+            plan = cached_sharding_plan(
                 node.conv_spec(), strategy, p, self.options.dtype_bytes
             )
             if plan is not None:

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.utils.cache import LruCache
 from repro.utils.validation import require, require_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -40,6 +41,9 @@ Fitness = Callable[[np.ndarray], float]
 
 #: Maps a genome to a hashable memoization key.
 KeyFn = Callable[[np.ndarray], Hashable]
+
+#: Sentinel distinguishing "absent" from a cached falsy value.
+_MISSING = object()
 
 
 def genome_key(genome: np.ndarray) -> bytes:
@@ -53,12 +57,14 @@ class BackendStats:
 
     ``evaluations`` counts *actual* fitness-function invocations, i.e.
     unique evaluations under caching; ``cache_hits``/``cache_misses``
-    stay zero for uncached backends.
+    stay zero for uncached backends. ``cache_evictions`` counts entries
+    dropped by a bounded memoizer (zero when unbounded).
     """
 
     evaluations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
 
     def since(self, earlier: "BackendStats") -> "BackendStats":
         """Counter deltas relative to an earlier snapshot."""
@@ -66,6 +72,7 @@ class BackendStats:
             evaluations=self.evaluations - earlier.evaluations,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
+            cache_evictions=self.cache_evictions - earlier.cache_evictions,
         )
 
 
@@ -123,33 +130,46 @@ class CachedBackend(EvaluationBackend):
 
     Keys default to the raw genome bytes; pass ``key_fn`` to memoize at
     the *phenotype* level instead (e.g. the decoded mapping of a level-1
-    genome), which collapses the many-to-one genome→phenotype decode and
-    is where the big hit rates come from. The wrapped backend only ever
-    sees cache misses, deduplicated within each batch.
+    genome, or the per-layer strategy sub-key tuple of a level-2 one),
+    which collapses the many-to-one genome→phenotype decode and is where
+    the big hit rates come from. The wrapped backend only ever sees
+    cache misses, deduplicated within each batch. Phenotypes that miss
+    here at the whole-key level still reuse their unchanged per-layer
+    sub-keys inside the evaluator's layer-cost cache.
 
     Entries are namespaced per fitness callable (by identity, with the
     callable pinned so its id cannot be recycled), so one cache can be
     shared across many GAs/sub-problems without key collisions between
-    different fitness functions.
+    different fitness functions. Pass ``max_entries`` to bound each
+    namespace with LRU eviction (long-running services); the default
+    keeps the historical unbounded behaviour.
     """
 
     def __init__(
         self,
         inner: EvaluationBackend | None = None,
         key_fn: KeyFn | None = None,
+        max_entries: int | None = None,
     ) -> None:
+        if max_entries is not None:
+            require_positive(max_entries, "max_entries")
         self.inner = inner if inner is not None else SerialBackend()
         self.key_fn = key_fn if key_fn is not None else genome_key
-        self._caches: dict[int, dict[Hashable, float]] = {}
+        self.max_entries = max_entries
+        self._caches: dict[int, dict[Hashable, float] | LruCache] = {}
         self._pinned: dict[int, Fitness] = {}
         self._hits = 0
         self._misses = 0
 
-    def _cache_for(self, fitness: Fitness) -> dict[Hashable, float]:
+    def _cache_for(self, fitness: Fitness) -> dict[Hashable, float] | LruCache:
         namespace = id(fitness)
         if namespace not in self._pinned:
             self._pinned[namespace] = fitness  # keeps the id unique
-            self._caches[namespace] = {}
+            self._caches[namespace] = (
+                LruCache(self.max_entries)
+                if self.max_entries is not None
+                else {}
+            )
         return self._caches[namespace]
 
     def evaluate(
@@ -157,21 +177,28 @@ class CachedBackend(EvaluationBackend):
     ) -> list[float]:
         cache = self._cache_for(fitness)
         keys = [self.key_fn(g) for g in genomes]
+        # Batch values are collected locally so a bounded cache evicting
+        # mid-batch can never lose a value this batch still needs.
+        batch: dict[Hashable, float] = {}
         pending_keys: list[Hashable] = []
         pending_genomes: list[np.ndarray] = []
-        seen: set[Hashable] = set()
         for key, genome in zip(keys, genomes):
-            if key in cache or key in seen:
+            if key in batch:
                 continue
-            seen.add(key)
+            value = cache.get(key, _MISSING)
+            if value is not _MISSING:
+                batch[key] = value
+                continue
+            batch[key] = _MISSING  # claimed; evaluated below
             pending_keys.append(key)
             pending_genomes.append(genome)
         if pending_genomes:
             values = self.inner.evaluate(fitness, pending_genomes)
             cache.update(zip(pending_keys, values))
+            batch.update(zip(pending_keys, values))
         self._misses += len(pending_genomes)
         self._hits += len(genomes) - len(pending_genomes)
-        return [cache[key] for key in keys]
+        return [batch[key] for key in keys]
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         return self.inner.map(fn, items)
@@ -192,8 +219,16 @@ class CachedBackend(EvaluationBackend):
 
     @property
     def stats(self) -> BackendStats:
+        evictions = sum(
+            cache.evictions
+            for cache in self._caches.values()
+            if isinstance(cache, LruCache)
+        )
         return replace(
-            self.inner.stats, cache_hits=self._hits, cache_misses=self._misses
+            self.inner.stats,
+            cache_hits=self._hits,
+            cache_misses=self._misses,
+            cache_evictions=evictions,
         )
 
     def close(self) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.core.ga.backends import (
     make_backend,
 )
 from repro.utils.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids coupling
+    from repro.core.evaluator import LayerCacheStats
 
 #: Evaluates a whole population; returns fitnesses in input order.
 BatchFitness = Callable[[list[np.ndarray]], list[float]]
@@ -94,7 +98,10 @@ class GAResult:
     ``evaluations`` counts actual fitness invocations — with a caching
     backend that is the number of *unique* evaluations; ``cache_hits``
     and ``cache_misses`` expose the memoizer's counters (zero for
-    uncached backends).
+    uncached backends). ``layer_cache`` carries the evaluator's
+    per-layer cost-cache counters for the run, attached by the level
+    drivers (``None`` when the fitness has no evaluator or the layer
+    cache is disabled).
     """
 
     best_genome: np.ndarray
@@ -104,6 +111,7 @@ class GAResult:
     generations_run: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    layer_cache: "LayerCacheStats | None" = None
 
 
 class GeneticAlgorithm:

@@ -111,13 +111,18 @@ def subdivision_partitions(
         _group_subdivisions,
         [list(members) for members in topology.groups().values()],
     )
+    # Set-based dedup: the product over per-group subdivisions grows
+    # combinatorially on many-group topologies, where the old list
+    # membership scan made catalog construction quadratic.
     partitions: list[Partition] = []
+    seen: set[Partition] = set()
     for combo in product(*per_group):
         flattened: list[tuple[int, ...]] = []
         for sets in combo:
             flattened.extend(sets)
         partition = tuple(sorted(flattened, key=lambda c: c[0]))
-        if partition not in partitions:
+        if partition not in seen:
+            seen.add(partition)
             partitions.append(partition)
     return partitions
 
@@ -128,8 +133,10 @@ def candidate_partitions(
 ) -> list[Partition]:
     """The level-1 GA's partition catalog (deduplicated, deterministic)."""
     result = edge_removal_partitions(topology)
+    seen = set(result)
     for partition in subdivision_partitions(topology, backend):
-        if partition not in result:
+        if partition not in seen:
+            seen.add(partition)
             result.append(partition)
     return result
 

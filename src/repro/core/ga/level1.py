@@ -382,6 +382,7 @@ class Level1Search:
     # ------------------------------------------------------------------
 
     def run(self) -> tuple[Mapping, MappingEvaluation, GAResult]:
+        layer_cache_before = self.evaluator.layer_cache_stats
         try:
             ga = GeneticAlgorithm(
                 genome_length=self.genome_length,
@@ -395,6 +396,16 @@ class Level1Search:
             decoded = self.decode(result.best_genome)
             mapping = self.build_mapping(decoded)
             evaluation = self.evaluator.evaluate_mapping(mapping)
+            if self.evaluator.layer_cache_enabled:
+                # Whole-search delta. With workers == 1 this covers the
+                # level-2 sub-GAs too (they price through this
+                # evaluator); with a level-2 process pool the workers'
+                # unpickled evaluators rebuild private caches whose
+                # counters are not observable here, so the delta only
+                # reflects in-process evaluations.
+                result.layer_cache = self.evaluator.layer_cache_stats.since(
+                    layer_cache_before
+                )
             return mapping, evaluation, result
         finally:
             if self._level2_pool is not None:

@@ -34,11 +34,12 @@ from repro.core.ga.engine import GAConfig, GAResult, GeneticAlgorithm
 from repro.core.sharding import (
     NO_PARALLELISM,
     ParallelismStrategy,
-    make_sharding_plan,
+    cached_sharding_plan,
 )
 from repro.core.strategy_space import longest_dims_strategy
 from repro.dnn.graph import LayerNode
 from repro.dnn.layers import LOOP_DIMS, LoopDim
+from repro.utils.cache import LruCache
 
 GENES_PER_LAYER = 14
 
@@ -68,16 +69,22 @@ def decode_layer_strategy(
         return NO_PARALLELISM
     spec = node.conv_spec()
     extents = spec.loop_extents()
-    es_count = min(int(genes[0] * 3), 2)
+    # Pure-python stable sorts: ``sorted`` over six floats beats
+    # ``np.argsort`` on arrays this small, and this runs per layer per
+    # decoded genome. Ordering is identical (descending value, ties by
+    # canonical dim index).
+    g = genes.tolist()
+    es_count = min(int(g[0] * 3), 2)
+    es_pri, ss_pri = g[1:7], g[8:14]
     es_order = [
         LOOP_DIMS[i]
-        for i in np.argsort(-genes[1:7], kind="stable")
+        for i in sorted(range(6), key=lambda i: -es_pri[i])
         if extents[LOOP_DIMS[i]] >= 2
     ]
-    ss_enabled = genes[7] > 0.5
+    ss_enabled = g[7] > 0.5
     ss_order = [
         LOOP_DIMS[i]
-        for i in np.argsort(-genes[8:14], kind="stable")
+        for i in sorted(range(6), key=lambda i: -ss_pri[i])
         if extents[LOOP_DIMS[i]] >= parallelism
     ]
 
@@ -87,12 +94,12 @@ def decode_layer_strategy(
         if ss_enabled:
             ss = next((d for d in ss_order if d not in es), None)
         strategy = ParallelismStrategy(es=es, ss=ss)
-        if make_sharding_plan(spec, strategy, parallelism, dtype_bytes) is not None:
+        if cached_sharding_plan(spec, strategy, parallelism, dtype_bytes) is not None:
             return strategy
         # Retry without SS before dropping an ES dim.
         if ss is not None:
             strategy = ParallelismStrategy(es=es, ss=None)
-            if make_sharding_plan(spec, strategy, parallelism, dtype_bytes) is not None:
+            if cached_sharding_plan(spec, strategy, parallelism, dtype_bytes) is not None:
                 return strategy
     return NO_PARALLELISM
 
@@ -220,11 +227,28 @@ class Level2Fitness:
     Decodes a genome into per-layer strategies and prices the whole set
     through the shared evaluator. Being a module-level class (not a
     closure) it pickles cleanly, so the same object drives the serial,
-    cached and process-pool backends. ``phenotype_key`` exposes the
-    decoded strategies as a hashable key: the continuous genome decodes
-    many-to-one, which is where a
-    :class:`~repro.core.ga.backends.CachedBackend` earns its hit rate.
+    cached and process-pool backends.
+
+    Each genome is decoded **once**: a small per-instance memo (keyed by
+    the genome's raw bytes) is shared by ``phenotype_key`` and
+    ``__call__``, which a :class:`~repro.core.ga.backends.CachedBackend`
+    otherwise calls back to back — historically doubling the
+    ``make_sharding_plan`` work per evaluation.
+
+    ``phenotype_key`` composes from per-layer sub-keys (one decoded
+    strategy per compute layer, slot-aligned with ``compute_nodes``).
+    The whole tuple is the :class:`CachedBackend` key — an exact
+    phenotype repeat skips evaluation entirely — while near-duplicates
+    that differ in a layer or two fall through to ``__call__``, where
+    the evaluator's layer-cost cache reuses every sub-key that did not
+    change. Warm restarts therefore hit at layer granularity instead of
+    all-or-nothing.
     """
+
+    #: Bound on the decode memo; comfortably above any population size
+    #: so one batch's ``phenotype_key`` pass stays resident for the
+    #: ``__call__`` pass that follows.
+    DECODE_MEMO_CAPACITY = 1024
 
     def __init__(
         self,
@@ -239,12 +263,43 @@ class Level2Fitness:
         self.accs = accs
         self.design = design
         self.dtype_bytes = evaluator.options.dtype_bytes
+        self._decode_memo = LruCache(self.DECODE_MEMO_CAPACITY)
+
+    def __getstate__(self) -> dict:
+        # The memo stays home when the fitness ships to pool workers:
+        # a per-batch-changing memo would change the pickled payload
+        # bytes every generation and defeat the workers' payload memo.
+        state = dict(self.__dict__)
+        state["_decode_memo"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._decode_memo = LruCache(self.DECODE_MEMO_CAPACITY)
 
     @property
     def genome_length(self) -> int:
         return len(self.compute_nodes) * GENES_PER_LAYER
 
-    def decode(self, genome: np.ndarray) -> dict[str, ParallelismStrategy]:
+    @property
+    def decode_hits(self) -> int:
+        """Decodes skipped thanks to the per-genome memo."""
+        return self._decode_memo.hits
+
+    @property
+    def decode_misses(self) -> int:
+        """Actual genome decodes performed."""
+        return self._decode_memo.misses
+
+    def _decoded(self, genome: np.ndarray) -> dict[str, ParallelismStrategy]:
+        raw = np.ascontiguousarray(genome).tobytes()
+        strategies = self._decode_memo.get(raw)
+        if strategies is None:
+            strategies = self._decode(genome)
+            self._decode_memo.put(raw, strategies)
+        return strategies
+
+    def _decode(self, genome: np.ndarray) -> dict[str, ParallelismStrategy]:
         parallelism = len(self.accs)
         strategies = {}
         for i, node in enumerate(self.compute_nodes):
@@ -254,13 +309,18 @@ class Level2Fitness:
             )
         return strategies
 
+    def decode(self, genome: np.ndarray) -> dict[str, ParallelismStrategy]:
+        """Per-layer strategies of ``genome`` (memoized; returns a copy)."""
+        return dict(self._decoded(genome))
+
     def phenotype_key(self, genome: np.ndarray) -> tuple:
-        strategies = self.decode(genome)
+        """Tuple of per-layer strategy sub-keys, one per compute layer."""
+        strategies = self._decoded(genome)
         return tuple(strategies[n.name] for n in self.compute_nodes)
 
     def __call__(self, genome: np.ndarray) -> float:
         return self.evaluator.evaluate_set(
-            self.nodes, self.accs, self.design, self.decode(genome)
+            self.nodes, self.accs, self.design, self._decoded(genome)
         ).latency_seconds
 
 
@@ -299,6 +359,7 @@ def optimize_set(
         and not isinstance(backend, CachedBackend)
     ):
         engine_backend = CachedBackend(backend, key_fn=fitness.phenotype_key)
+    layer_cache_before = evaluator.layer_cache_stats
     ga = GeneticAlgorithm(
         genome_length=fitness.genome_length,
         fitness=fitness,
@@ -311,6 +372,10 @@ def optimize_set(
     result = ga.run()
     best_strategies = fitness.decode(result.best_genome)
     evaluation = evaluator.evaluate_set(nodes, accs, design, best_strategies)
+    if evaluator.layer_cache_enabled:
+        result.layer_cache = evaluator.layer_cache_stats.since(
+            layer_cache_before
+        )
     return SetSolution(
         strategies=best_strategies,
         latency_seconds=evaluation.latency_seconds,

@@ -9,12 +9,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
 from repro.core.evaluator import (
     EvaluatorOptions,
+    LayerCacheStats,
     MappingEvaluation,
     MappingEvaluator,
 )
@@ -51,6 +52,11 @@ class MarsResult:
         """Best latency (seconds) per level-1 generation."""
         return self.ga.history
 
+    @property
+    def layer_cache(self) -> LayerCacheStats | None:
+        """Layer-cost cache counters of the search (``None`` when off)."""
+        return self.ga.layer_cache
+
 
 @dataclass
 class Mars:
@@ -69,6 +75,11 @@ class Mars:
         cache: Override both levels' fitness memoization; ``None`` keeps
             the budget's values. Backends never change results — only
             wall-clock.
+        layer_cache: Override the evaluator's per-layer cost cache
+            (:attr:`EvaluatorOptions.layer_cache`, on by default);
+            ``None`` keeps ``options`` as given. Like the backends, the
+            layer cache is bit-identical on or off — only wall-clock
+            changes. Counters land on ``MarsResult.layer_cache``.
     """
 
     graph: ComputationGraph
@@ -79,10 +90,16 @@ class Mars:
     objective: str = "latency"
     workers: int | None = None
     cache: bool | None = None
+    layer_cache: bool | None = None
+
+    def _options(self) -> EvaluatorOptions:
+        if self.layer_cache is None:
+            return self.options
+        return replace(self.options, layer_cache=self.layer_cache)
 
     def search(self, seed: int = 0) -> MarsResult:
         """Run the two-level GA and return the best mapping found."""
-        evaluator = MappingEvaluator(self.graph, self.topology, self.options)
+        evaluator = MappingEvaluator(self.graph, self.topology, self._options())
         search = Level1Search(
             graph=self.graph,
             topology=self.topology,
@@ -97,5 +114,5 @@ class Mars:
 
     def compile_program(self, result: MarsResult) -> ExecutionProgram:
         """Replayable execution program of a search result."""
-        evaluator = MappingEvaluator(self.graph, self.topology, self.options)
+        evaluator = MappingEvaluator(self.graph, self.topology, self._options())
         return evaluator.compile_program(result.mapping)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from repro.dnn.layers import LOOP_DIMS, ConvSpec, LoopDim
-from repro.core.sharding import ParallelismStrategy, make_sharding_plan
+from repro.core.sharding import ParallelismStrategy, cached_sharding_plan
 
 
 def enumerate_strategies(
@@ -53,7 +53,7 @@ def feasible_strategies(
     """
     result = []
     for strategy in enumerate_strategies(max_es_dims, allow_ss):
-        plan = make_sharding_plan(spec, strategy, parallelism, dtype_bytes)
+        plan = cached_sharding_plan(spec, strategy, parallelism, dtype_bytes)
         if plan is None:
             continue
         if parallelism > 1 and any(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.dnn.layers import (
     COMPUTE_KINDS,
@@ -43,12 +44,20 @@ class LayerNode:
         """True for layers carrying a convolution loop nest (conv / FC)."""
         return self.kind in COMPUTE_KINDS
 
-    def conv_spec(self) -> ConvSpec:
-        """The normalized loop nest; only valid for compute layers."""
+    @cached_property
+    def _conv_spec(self) -> ConvSpec:
         layer = self.layer
         if isinstance(layer, (Conv2d, FullyConnected)):
             return layer.spec(self.input_shapes[0])
         raise TypeError(f"layer {self.name!r} ({self.kind}) has no conv spec")
+
+    def conv_spec(self) -> ConvSpec:
+        """The normalized loop nest; only valid for compute layers.
+
+        Cached per node — the GA decode and the evaluator ask for the
+        spec thousands of times per search.
+        """
+        return self._conv_spec
 
     @property
     def param_count(self) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.utils.validation import require, require_positive
 
@@ -36,6 +37,12 @@ class LoopDim(enum.Enum):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LoopDim.{self.name}"
+
+    # Identity hash (C slot, no Python frame): enum members are
+    # singletons, and loop dims key every dict on the search's hottest
+    # paths — the default Enum.__hash__ is a Python-level call that
+    # shows up in profiles.
+    __hash__ = object.__hash__
 
 
 #: Deterministic ordering of the loop dims, used by genomes and reports.
@@ -215,7 +222,14 @@ class ConvSpec:
         )
 
     def loop_extents(self) -> dict[LoopDim, int]:
-        """The six loop bounds of the canonical nest for this layer."""
+        """The six loop bounds of the canonical nest for this layer.
+
+        Memoized per spec (hot in the GA decode and plan construction);
+        the returned dict is shared and must be treated as read-only.
+        """
+        return _spec_loop_extents(self)
+
+    def _build_loop_extents(self) -> dict[LoopDim, int]:
         return {
             LoopDim.COUT: self.out_channels,
             LoopDim.CIN: self.in_channels,
@@ -260,7 +274,14 @@ class ConvSpec:
         reads a KxK window), which is the resolution the sharding
         machinery needs — an output H-shard implies an input H-shard of
         the same loop range plus halo.
+
+        Memoized per spec (this runs on the mapping search's hottest
+        path); the returned dict and its specs are shared and must be
+        treated as read-only.
         """
+        return _spec_tensors(self)
+
+    def _build_tensors(self) -> dict[str, TensorSpec]:
         return {
             "input": TensorSpec(
                 "input",
@@ -283,6 +304,18 @@ class ConvSpec:
                 (self.out_channels, self.out_h, self.out_w),
             ),
         }
+
+
+@lru_cache(maxsize=65536)
+def _spec_tensors(spec: ConvSpec) -> dict[str, TensorSpec]:
+    """Shared, read-only tensor dict of a spec (see ConvSpec.tensors)."""
+    return spec._build_tensors()
+
+
+@lru_cache(maxsize=65536)
+def _spec_loop_extents(spec: ConvSpec) -> dict[LoopDim, int]:
+    """Shared, read-only loop extents of a spec (see ConvSpec.loop_extents)."""
+    return spec._build_loop_extents()
 
 
 @dataclass(frozen=True)

@@ -8,8 +8,9 @@ Usage::
     python -m repro.experiments table3 --workers 4 --cache
 
 ``--workers``/``--cache`` select the GA evaluation backend (process-pool
-fan-out and fitness memoization); they change wall-clock only — for a
-fixed seed every backend reproduces the same tables.
+fan-out and fitness memoization) and ``--no-layer-cache`` disables the
+evaluator's per-layer cost cache; all three change wall-clock only — for
+a fixed seed every configuration reproduces the same tables.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.evaluator import EvaluatorOptions, LayerCacheStats
 from repro.core.ga import SearchBudget
 from repro.dnn.models import TABLE3_MODELS, TABLE4_MODELS
 from repro.experiments import run_table2, run_table3, run_table4
@@ -25,6 +27,23 @@ from repro.experiments import run_table2, run_table3, run_table4
 def _budget(name: str, workers: int = 1, cache: bool = False) -> SearchBudget:
     budget = SearchBudget.paper() if name == "paper" else SearchBudget.fast()
     return budget.with_backend(workers=workers, cache=cache)
+
+
+def _layer_cache_summary(stats: list[LayerCacheStats]) -> str | None:
+    """One aggregate line over the searches' layer-cost cache counters."""
+    stats = [s for s in stats if s is not None]
+    if not stats:
+        return None
+    hits = sum(s.hits for s in stats)
+    misses = sum(s.misses for s in stats)
+    entries = max(s.entries for s in stats)
+    evictions = sum(s.evictions for s in stats)
+    lookups = hits + misses
+    rate = hits / lookups * 100.0 if lookups else 0.0
+    return (
+        f"layer-cost cache: {hits} hits / {misses} misses "
+        f"({rate:.1f}% hit rate), {entries} entries, {evictions} evictions"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,9 +75,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="memoize GA fitness evaluations (identical results, fewer evals)",
     )
+    parser.add_argument(
+        "--no-layer-cache",
+        action="store_true",
+        help="disable the evaluator's per-layer cost cache "
+        "(identical results, more recomputation)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.no_layer_cache and args.experiment == "table2":
+        # table2 profiles designs without any mapping search; there is
+        # no evaluator whose cache the flag could disable.
+        parser.error("--no-layer-cache does not apply to table2")
+    layer_cache = not args.no_layer_cache
 
     budget = _budget(args.budget, workers=args.workers, cache=args.cache)
     if args.experiment == "table2":
@@ -75,11 +105,26 @@ def main(argv: list[str] | None = None) -> int:
                 backend.close()
     elif args.experiment == "table3":
         models = tuple(args.models) if args.models else TABLE3_MODELS
-        result = run_table3(models=models, budget=budget, seed=args.seed)
+        result = run_table3(
+            models=models,
+            budget=budget,
+            seed=args.seed,
+            options=EvaluatorOptions(layer_cache=layer_cache),
+        )
         print(result.to_text())
+        summary = _layer_cache_summary(
+            [mars.layer_cache for mars in result.mars_results.values()]
+        )
+        if summary:
+            print(summary)
     else:
         models = tuple(args.models) if args.models else TABLE4_MODELS
-        result = run_table4(models=models, budget=budget, seed=args.seed)
+        result = run_table4(
+            models=models,
+            budget=budget,
+            seed=args.seed,
+            layer_cache=layer_cache,
+        )
         print(result.to_text())
     return 0
 

@@ -71,11 +71,14 @@ def run_table4(
     bandwidth_levels: dict[str, float] | None = None,
     budget: SearchBudget | None = None,
     seed: int = 0,
+    layer_cache: bool = True,
 ) -> Table4Result:
     """Reproduce Table IV (or a subset)."""
     levels = bandwidth_levels or H2H_BANDWIDTH_LEVELS
     budget = budget or SearchBudget.fast()
-    options = EvaluatorOptions(weights_resident=False)
+    options = EvaluatorOptions(
+        weights_resident=False, layer_cache=layer_cache
+    )
 
     result = Table4Result()
     graphs = {name: build_model(name) for name in models}

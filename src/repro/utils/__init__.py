@@ -5,6 +5,7 @@ other subpackage (DNN IR, accelerator models, simulator, GA) can use them
 without import cycles.
 """
 
+from repro.utils.cache import LruCache
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.tables import format_table
 from repro.utils.units import (
@@ -25,6 +26,7 @@ __all__ = [
     "GBPS",
     "GIB",
     "KIB",
+    "LruCache",
     "MIB",
     "MHZ",
     "bytes_to_human",

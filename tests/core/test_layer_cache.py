@@ -1,0 +1,436 @@
+"""The evaluator's per-layer cost cache: bit-identity and bookkeeping.
+
+The layer cache is a pure wall-clock optimization; these tests pin the
+contract that makes it safe to leave on by default — cached and
+uncached evaluations are bit-identical across models, topologies,
+scenarios (weights resident vs streamed) and the DRAM-spill path — plus
+the cache mechanics themselves (bounded LRU, counters, pickling,
+program-path bypass).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerators import design1_superlip, design2_systolic
+from repro.core.evaluator import (
+    EvaluatorOptions,
+    LayerCacheStats,
+    MappingEvaluator,
+)
+from repro.core.formulation import (
+    AcceleratorSet,
+    LayerRange,
+    Mapping,
+    SetAssignment,
+)
+from repro.core.sharding import ParallelismStrategy
+from repro.dnn import build_model
+from repro.dnn.layers import LOOP_DIMS, LoopDim
+from repro.dnn.models.random_model import random_model
+from repro.system import f1_16xlarge
+from repro.utils import MIB, make_rng
+
+#: Workloads mixing the zoo with fuzzed shapes (primes, tiny maps).
+GRAPHS = [
+    build_model("tiny_cnn"),
+    random_model(3),
+    random_model(11),
+]
+
+#: Strategy motifs the generator draws from (feasible and infeasible
+#: ones both — infeasible plans exercise the penalty path).
+CANDIDATE_STRATEGIES = [
+    ParallelismStrategy(),
+    ParallelismStrategy(es=(LoopDim.H,)),
+    ParallelismStrategy(es=(LoopDim.H, LoopDim.W)),
+    ParallelismStrategy(es=(LoopDim.COUT,)),
+    ParallelismStrategy(es=(LoopDim.COUT, LoopDim.CIN)),
+    ParallelismStrategy(es=(LoopDim.CIN, LoopDim.H)),
+    ParallelismStrategy(es=(LoopDim.KH, LoopDim.KW)),
+    ParallelismStrategy(es=(LoopDim.H,), ss=LoopDim.COUT),
+    ParallelismStrategy(es=(LoopDim.COUT,), ss=LoopDim.H),
+    ParallelismStrategy(ss=LoopDim.CIN),
+]
+
+
+def _random_strategies(graph, seed: int) -> dict:
+    rng = make_rng(seed)
+    return {
+        node.name: CANDIDATE_STRATEGIES[
+            int(rng.integers(len(CANDIDATE_STRATEGIES)))
+        ]
+        for node in graph.compute_nodes()
+    }
+
+
+def _options(weights_resident: bool, layer_cache: bool) -> EvaluatorOptions:
+    return EvaluatorOptions(
+        weights_resident=weights_resident, layer_cache=layer_cache
+    )
+
+
+def _assert_set_evaluations_identical(a, b):
+    assert a.latency_seconds == b.latency_seconds
+    assert a.feasible == b.feasible
+    assert a.memory == b.memory
+    assert len(a.layer_costs) == len(b.layer_costs)
+    for ca, cb in zip(a.layer_costs, b.layer_costs):
+        assert ca.name == cb.name
+        assert ca.compute_seconds == cb.compute_seconds
+        assert ca.resharding_seconds == cb.resharding_seconds
+        assert ca.allreduce_seconds == cb.allreduce_seconds
+        assert ca.rotation_seconds == cb.rotation_seconds
+        assert ca.halo_seconds == cb.halo_seconds
+
+
+class TestBitIdentity:
+    """Cache on vs off is invisible in the numbers."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        graph_index=st.integers(0, len(GRAPHS) - 1),
+        strategy_seed=st.integers(0, 10_000),
+        accs=st.sampled_from([(0,), (0, 1), (0, 1, 2, 3), (4, 5)]),
+        weights_resident=st.booleans(),
+    )
+    def test_evaluate_set_bit_identical_cache_on_vs_off(
+        self, graph_index, strategy_seed, accs, weights_resident
+    ):
+        graph = GRAPHS[graph_index]
+        topology = f1_16xlarge()
+        strategies = _random_strategies(graph, strategy_seed)
+        cached = MappingEvaluator(
+            graph, topology, _options(weights_resident, True)
+        )
+        uncached = MappingEvaluator(
+            graph, topology, _options(weights_resident, False)
+        )
+        baseline = uncached.evaluate_set(
+            graph.nodes(), accs, design2_systolic(), strategies
+        )
+        cold = cached.evaluate_set(
+            graph.nodes(), accs, design2_systolic(), strategies
+        )
+        warm = cached.evaluate_set(
+            graph.nodes(), accs, design2_systolic(), strategies
+        )
+        _assert_set_evaluations_identical(cold, baseline)
+        _assert_set_evaluations_identical(warm, baseline)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph_index=st.integers(0, len(GRAPHS) - 1),
+        strategy_seed=st.integers(0, 10_000),
+        weights_resident=st.booleans(),
+    )
+    def test_spill_path_bit_identical(
+        self, graph_index, strategy_seed, weights_resident
+    ):
+        """Tiny DRAM forces the host-spill charge; identity must hold."""
+        graph = GRAPHS[graph_index]
+        topology = f1_16xlarge(dram_bytes=16 * 1024)
+        strategies = _random_strategies(graph, strategy_seed)
+        cached = MappingEvaluator(
+            graph, topology, _options(weights_resident, True)
+        )
+        uncached = MappingEvaluator(
+            graph, topology, _options(weights_resident, False)
+        )
+        accs = (0, 1)
+        baseline = uncached.evaluate_set(
+            graph.nodes(), accs, design1_superlip(), strategies
+        )
+        warmup = cached.evaluate_set(
+            graph.nodes(), accs, design1_superlip(), strategies
+        )
+        again = cached.evaluate_set(
+            graph.nodes(), accs, design1_superlip(), strategies
+        )
+        assert not baseline.memory.fits  # the scenario actually spills
+        _assert_set_evaluations_identical(warmup, baseline)
+        _assert_set_evaluations_identical(again, baseline)
+
+    def test_spill_path_bit_identical_vgg16(self):
+        """Deterministic spill: VGG-16 weights cannot fit 1 MiB DRAM."""
+        graph = build_model("vgg16")
+        topology = f1_16xlarge(dram_bytes=1 * MIB)
+        strategies = _random_strategies(graph, 7)
+        cached = MappingEvaluator(graph, topology, _options(True, True))
+        uncached = MappingEvaluator(graph, topology, _options(True, False))
+        accs = (0, 1, 2, 3)
+        baseline = uncached.evaluate_set(
+            graph.nodes(), accs, design2_systolic(), strategies
+        )
+        warm = [
+            cached.evaluate_set(
+                graph.nodes(), accs, design2_systolic(), strategies
+            )
+            for _ in range(2)
+        ][1]
+        assert not baseline.memory.fits
+        assert baseline.memory.overflow_bytes > 0
+        _assert_set_evaluations_identical(warm, baseline)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        graph_index=st.integers(0, len(GRAPHS) - 1),
+        strategy_seed=st.integers(0, 10_000),
+        weights_resident=st.booleans(),
+        entry_h=st.sampled_from([None, 2, 4]),
+    )
+    def test_entry_sharding_bit_identical(
+        self, graph_index, strategy_seed, weights_resident, entry_h
+    ):
+        graph = GRAPHS[graph_index]
+        topology = f1_16xlarge()
+        strategies = _random_strategies(graph, strategy_seed)
+        entry = None if entry_h is None else {LoopDim.H: entry_h}
+        cached = MappingEvaluator(
+            graph, topology, _options(weights_resident, True)
+        )
+        uncached = MappingEvaluator(
+            graph, topology, _options(weights_resident, False)
+        )
+        results = [
+            evaluator.evaluate_set(
+                graph.nodes(),
+                (0, 1),
+                design2_systolic(),
+                strategies,
+                entry_sharding=entry,
+            )
+            for evaluator in (uncached, cached, cached)
+        ]
+        _assert_set_evaluations_identical(results[1], results[0])
+        _assert_set_evaluations_identical(results[2], results[0])
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        graph_index=st.integers(0, len(GRAPHS) - 1),
+        strategy_seed=st.integers(0, 10_000),
+        weights_resident=st.booleans(),
+    )
+    def test_evaluate_mapping_bit_identical(
+        self, graph_index, strategy_seed, weights_resident
+    ):
+        graph = GRAPHS[graph_index]
+        topology = f1_16xlarge()
+        strategies = _random_strategies(graph, strategy_seed)
+        positions = [
+            i for i, node in enumerate(graph.nodes()) if node.is_compute
+        ]
+        cut = positions[len(positions) // 2] if len(positions) > 1 else 1
+        assignments = []
+        for layer_range, accs in [
+            (LayerRange(0, cut), (0, 1, 2, 3)),
+            (LayerRange(cut, len(graph)), (4, 5)),
+        ]:
+            members = {
+                graph.nodes()[i].name for i in layer_range.indices()
+            }
+            assignments.append(
+                SetAssignment(
+                    layer_range=layer_range,
+                    acc_set=AcceleratorSet(accs),
+                    design=design2_systolic(),
+                    strategies={
+                        name: s
+                        for name, s in strategies.items()
+                        if name in members
+                    },
+                )
+            )
+        mapping = Mapping(
+            graph=graph, topology=topology, assignments=assignments
+        )
+        cached = MappingEvaluator(
+            graph, topology, _options(weights_resident, True)
+        )
+        uncached = MappingEvaluator(
+            graph, topology, _options(weights_resident, False)
+        )
+        baseline = uncached.evaluate_mapping(mapping)
+        cold = cached.evaluate_mapping(mapping)
+        warm = cached.evaluate_mapping(mapping)
+        for result in (cold, warm):
+            assert result.latency_seconds == baseline.latency_seconds
+            assert result.transfer_seconds == baseline.transfer_seconds
+            assert result.host_input_seconds == baseline.host_input_seconds
+            assert result.transfer_breakdown == baseline.transfer_breakdown
+            assert result.feasible == baseline.feasible
+            for sa, sb in zip(
+                result.set_evaluations, baseline.set_evaluations
+            ):
+                _assert_set_evaluations_identical(sa, sb)
+
+
+class TestCacheMechanics:
+    def _evaluator(self, **overrides) -> MappingEvaluator:
+        return MappingEvaluator(
+            GRAPHS[0], f1_16xlarge(), EvaluatorOptions(**overrides)
+        )
+
+    def test_second_evaluation_hits(self):
+        evaluator = self._evaluator()
+        strategies = _random_strategies(GRAPHS[0], 0)
+        evaluator.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        after_cold = evaluator.layer_cache_stats
+        assert after_cold.misses == len(GRAPHS[0].nodes())
+        assert after_cold.hits == 0
+        assert after_cold.entries == after_cold.misses
+        evaluator.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        after_warm = evaluator.layer_cache_stats
+        assert after_warm.misses == after_cold.misses
+        assert after_warm.hits == len(GRAPHS[0].nodes())
+        assert after_warm.hit_rate == pytest.approx(0.5)
+
+    def test_disabled_cache_reports_zeros(self):
+        evaluator = self._evaluator(layer_cache=False)
+        strategies = _random_strategies(GRAPHS[0], 0)
+        evaluator.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        assert not evaluator.layer_cache_enabled
+        assert evaluator.layer_cache_stats == LayerCacheStats()
+
+    def test_capacity_bound_evicts(self):
+        evaluator = self._evaluator(layer_cache_capacity=4)
+        strategies = _random_strategies(GRAPHS[0], 0)
+        evaluator.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        stats = evaluator.layer_cache_stats
+        assert stats.entries <= 4
+        assert stats.evictions == stats.misses - stats.entries
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            self._evaluator(layer_cache_capacity=0)
+
+    def test_program_emission_bypasses_cache(self):
+        """compile_program interleaves side effects; it must recompute."""
+        evaluator = self._evaluator()
+        strategies = _random_strategies(GRAPHS[0], 0)
+        mapping = Mapping(
+            graph=GRAPHS[0],
+            topology=f1_16xlarge(),
+            assignments=[
+                SetAssignment(
+                    layer_range=LayerRange(0, len(GRAPHS[0])),
+                    acc_set=AcceleratorSet((0, 1)),
+                    design=design2_systolic(),
+                    strategies=strategies,
+                )
+            ],
+        )
+        program = evaluator.compile_program(mapping)
+        assert evaluator.layer_cache_stats.lookups == 0
+        assert len(program.steps) > 0
+
+    def test_hits_return_fresh_cost_objects(self):
+        """Mutating a returned LayerCost must not poison the cache."""
+        evaluator = self._evaluator()
+        strategies = _random_strategies(GRAPHS[0], 0)
+        nodes = GRAPHS[0].nodes()
+        first = evaluator.evaluate_set(
+            nodes, (0, 1), design2_systolic(), strategies
+        )
+        expected = first.layer_costs[0].compute_seconds
+        first.layer_costs[0].compute_seconds = 123.0
+        second = evaluator.evaluate_set(
+            nodes, (0, 1), design2_systolic(), strategies
+        )
+        assert second.layer_costs[0].compute_seconds == expected
+        assert second.layer_costs[0] is not first.layer_costs[0]
+
+    def test_clear_layer_cache(self):
+        evaluator = self._evaluator()
+        strategies = _random_strategies(GRAPHS[0], 0)
+        evaluator.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        assert evaluator.layer_cache_stats.entries > 0
+        evaluator.clear_layer_cache()
+        assert evaluator.layer_cache_stats.entries == 0
+
+    def test_pickling_drops_cache_but_not_behaviour(self):
+        evaluator = self._evaluator()
+        strategies = _random_strategies(GRAPHS[0], 0)
+        original = evaluator.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        clone = pickle.loads(pickle.dumps(evaluator))
+        assert clone.layer_cache_enabled
+        assert clone.layer_cache_stats == LayerCacheStats()
+        replay = clone.evaluate_set(
+            GRAPHS[0].nodes(), (0, 1), design2_systolic(), strategies
+        )
+        _assert_set_evaluations_identical(replay, original)
+
+    def test_stats_since_deltas(self):
+        later = LayerCacheStats(hits=10, misses=4, entries=7, evictions=2)
+        earlier = LayerCacheStats(hits=6, misses=1, entries=5, evictions=2)
+        delta = later.since(earlier)
+        assert delta == LayerCacheStats(
+            hits=4, misses=3, entries=7, evictions=0
+        )
+        assert delta.lookups == 7
+        assert delta.hit_rate == pytest.approx(4 / 7)
+
+    def test_design_variants_do_not_collide(self):
+        """Same-named design with different parameters gets its own
+        entries — the cache keys on the design object, not its name."""
+        from dataclasses import replace as dc_replace
+
+        graph = GRAPHS[0]
+        evaluator = MappingEvaluator(graph, f1_16xlarge())
+        strategies = _random_strategies(graph, 0)
+        stock = design2_systolic()
+        doubled = dc_replace(stock, num_pes=stock.num_pes * 2)
+        assert doubled.name == stock.name
+        first = evaluator.evaluate_set(
+            graph.nodes(), (0, 1), stock, strategies
+        )
+        second = evaluator.evaluate_set(
+            graph.nodes(), (0, 1), doubled, strategies
+        )
+        uncached = MappingEvaluator(
+            graph, f1_16xlarge(), EvaluatorOptions(layer_cache=False)
+        )
+        expected = uncached.evaluate_set(
+            graph.nodes(), (0, 1), doubled, strategies
+        )
+        _assert_set_evaluations_identical(second, expected)
+        assert second.latency_seconds != first.latency_seconds
+
+    def test_distinct_sets_do_not_collide(self):
+        """Same layer+strategy on different acc sets prices differently."""
+        graph = build_model("vgg16")
+        evaluator = MappingEvaluator(graph, f1_16xlarge())
+        strategies = {
+            n.name: ParallelismStrategy(es=(LoopDim.H, LoopDim.W))
+            for n in graph.compute_nodes()
+        }
+        small = evaluator.evaluate_set(
+            graph.nodes(), (0, 1), design2_systolic(), strategies
+        )
+        large = evaluator.evaluate_set(
+            graph.nodes(), (0, 1, 2, 3), design2_systolic(), strategies
+        )
+        uncached = MappingEvaluator(
+            graph, f1_16xlarge(), EvaluatorOptions(layer_cache=False)
+        )
+        assert (
+            large.latency_seconds
+            == uncached.evaluate_set(
+                graph.nodes(), (0, 1, 2, 3), design2_systolic(), strategies
+            ).latency_seconds
+        )
+        assert small.latency_seconds != large.latency_seconds

@@ -25,3 +25,21 @@ class TestCli:
         # Argument parsing only; no need to actually run the big budget.
         with pytest.raises(SystemExit):
             main(["table3", "--budget", "huge"])
+
+    def test_table3_reports_layer_cache_stats(self, capsys):
+        assert main(["table3", "--models", "tiny_cnn"]) == 0
+        out = capsys.readouterr().out
+        assert "layer-cost cache:" in out
+        assert "hit rate" in out
+
+    def test_no_layer_cache_rejected_for_table2(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--models", "alexnet", "--no-layer-cache"])
+
+    def test_no_layer_cache_flag(self, capsys):
+        assert (
+            main(["table3", "--models", "tiny_cnn", "--no-layer-cache"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "layer-cost cache:" not in out
