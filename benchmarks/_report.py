@@ -4,6 +4,16 @@ Each bench regenerates one paper artifact and *emits* its report: the
 table is printed (visible with ``pytest -s``) and persisted under
 ``benchmarks/reports/`` so the regenerated rows survive pytest's output
 capture.
+
+Runs are parameterized by environment (no pytest flags needed, so the
+same knobs work in CI):
+
+* ``REPRO_BENCH_BUDGET`` — ``fast`` (default) or ``paper``;
+* ``REPRO_BENCH_WORKERS`` — GA evaluation workers threaded into every
+  :func:`search_budget`/:func:`quick_budget` consumer (process-pool
+  fan-out; results stay bit-identical, so the speedup contracts are
+  unaffected). Recorded in every JSON payload so multi-core runs are
+  reproducible from the report alone.
 """
 
 from __future__ import annotations
@@ -15,6 +25,37 @@ from pathlib import Path
 from repro.core.ga import GAConfig, SearchBudget
 
 REPORT_DIR = Path(__file__).parent / "reports"
+
+#: Machine-readable perf trajectory at the repo root: headline numbers
+#: from the asserting hot-path benches, merged across benches of one
+#: run into one diffable, version-controlled artifact (unlike the
+#: gitignored per-bench reports under ``benchmarks/reports/``).
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_hot_paths.json"
+
+
+def bench_workers() -> int:
+    """GA evaluation workers for this run (``REPRO_BENCH_WORKERS``)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def budget_name() -> str:
+    """The selected search-budget name (``fast`` or ``paper``)."""
+    if os.environ.get("REPRO_BENCH_BUDGET", "fast").lower() == "paper":
+        return "paper"
+    return "fast"
+
+
+def run_metadata() -> dict:
+    """Reproducibility metadata attached to every JSON report."""
+    if hasattr(os, "sched_getaffinity"):  # absent on macOS/Windows
+        cpus = len(os.sched_getaffinity(0))
+    else:
+        cpus = os.cpu_count() or 1
+    return {
+        "budget": budget_name(),
+        "workers": bench_workers(),
+        "cpus": cpus,
+    }
 
 
 def emit(name: str, text: str) -> None:
@@ -29,10 +70,37 @@ def emit_json(name: str, payload: dict) -> None:
 
     Companion to :func:`emit`: the text report is for humans, the JSON
     one feeds regression tooling (CI trend lines, cross-run diffing).
+    The run's metadata (budget, workers, cpus) rides along under
+    ``meta`` so a multi-core or paper-budget run is distinguishable
+    from the default configuration after the fact.
     """
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"BENCH_{name}.json"
+    payload = {**payload, "meta": run_metadata()}
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def emit_trajectory(name: str, payload: dict) -> None:
+    """Merge one bench's headline numbers into ``BENCH_hot_paths.json``.
+
+    The repo-root trajectory file accumulates the asserting hot-path
+    benches of a run (layer cache, warm sessions, batch decode) under
+    one key per bench. It is committed, so the repository carries its
+    current perf numbers; any bench run (including the CI smoke, in
+    its workspace) regenerates it in place — re-commit it when the
+    numbers move to keep the trajectory honest.
+    """
+    data: dict = {}
+    if TRAJECTORY_PATH.exists():
+        try:
+            data = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[name] = payload
+    data["meta"] = run_metadata()
+    TRAJECTORY_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def search_budget() -> SearchBudget:
@@ -40,11 +108,14 @@ def search_budget() -> SearchBudget:
 
     Defaults to the fast budget so the full harness completes in
     minutes; set ``REPRO_BENCH_BUDGET=paper`` for the larger budget used
-    to produce EXPERIMENTS.md.
+    to produce EXPERIMENTS.md. ``REPRO_BENCH_WORKERS`` threads a
+    process-pool worker count into both GA levels (bit-identical
+    results; wall-clock only).
     """
-    if os.environ.get("REPRO_BENCH_BUDGET", "fast").lower() == "paper":
-        return SearchBudget.paper()
-    return SearchBudget.fast()
+    budget = (
+        SearchBudget.paper() if budget_name() == "paper" else SearchBudget.fast()
+    )
+    return budget.with_backend(workers=bench_workers())
 
 
 def quick_budget() -> SearchBudget:
@@ -56,4 +127,4 @@ def quick_budget() -> SearchBudget:
         level2=GAConfig(
             population_size=8, generations=6, elite_count=1, patience=3
         ),
-    )
+    ).with_backend(workers=bench_workers())

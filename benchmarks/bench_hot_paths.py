@@ -4,13 +4,19 @@ These run with pytest-benchmark's full statistics (many rounds) — they
 are the performance contract of the search: if set evaluation or cycle
 models regress, every experiment slows down proportionally. The two
 layer-cache benches double as the cache's speedup contract (>= 2x,
-asserted) and run as a single-round smoke in CI so regressions fail the
-build.
+asserted), the session bench as the warm-search contract (>= 1.5x for
+repeated searches through one ``MarsSession``, asserted, bit-identical
+to fresh searches) and the batch-decode bench as the vectorized decode
+contract (bit-identical, measurably faster); all run as a single-round
+smoke in CI so regressions fail the build, and their headline numbers
+land in the repo-root ``BENCH_hot_paths.json`` trajectory file.
 """
 
 import os
 import time
 from dataclasses import replace
+
+import numpy as np
 
 from repro.accelerators import (
     cached_conv_cycles,
@@ -19,7 +25,9 @@ from repro.accelerators import (
     design3_winograd,
 )
 from repro.core.evaluator import EvaluatorOptions, MappingEvaluator
-from repro.core.ga import SearchBudget, optimize_set
+from repro.core.ga import Level2Fitness, SearchBudget, optimize_set
+from repro.core.mapper import Mars
+from repro.core.session import MarsSession
 from repro.core.sharding import ParallelismStrategy, make_sharding_plan
 from repro.core.strategy_space import longest_dims_strategy
 from repro.dnn import build_model
@@ -27,7 +35,7 @@ from repro.dnn.layers import ConvSpec, LoopDim
 from repro.system import f1_16xlarge
 from repro.utils import make_rng
 
-from _report import emit, emit_json, search_budget
+from _report import emit, emit_json, emit_trajectory, search_budget
 
 LAYER = ConvSpec(
     out_channels=512,
@@ -166,17 +174,16 @@ def bench_evaluate_set_warm_vs_cold(benchmark):
         f"cache warm: {warm_s * 1e6:9.1f} us\n"
         f"speedup   : {speedup:9.2f}x\n",
     )
-    emit_json(
-        "layer_cache_micro",
-        {
-            "workload": "vgg16",
-            "accs": list(accs),
-            "cold_seconds": cold_s,
-            "warm_seconds": warm_s,
-            "speedup": speedup,
-            "latency_seconds": warm_result.latency_seconds,
-        },
-    )
+    payload = {
+        "workload": "vgg16",
+        "accs": list(accs),
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": speedup,
+        "latency_seconds": warm_result.latency_seconds,
+    }
+    emit_json("layer_cache_micro", payload)
+    emit_trajectory("layer_cache_micro", payload)
     assert speedup >= 2.0, f"warm evaluate_set speedup {speedup:.2f}x < 2x"
 
 
@@ -249,23 +256,22 @@ def bench_layer_cache_level2_resnet34(benchmark):
         f"cache on (warm) : {warm_s * 1e3:9.1f} ms ({warm_speedup:.2f}x)\n"
         f"warm hit rate   : {stats.hit_rate * 100:9.1f} %\n",
     )
-    emit_json(
-        "layer_cache_level2",
-        {
-            "workload": "resnet34",
-            "accs": list(accs),
-            "budget": "fast",
-            "off_seconds": off_s,
-            "cold_seconds": cold_s,
-            "warm_seconds": warm_s,
-            "cold_speedup": cold_speedup,
-            "warm_speedup": warm_speedup,
-            "warm_hits": stats.hits,
-            "warm_misses": stats.misses,
-            "entries": stats.entries,
-            "latency_seconds": warm_solution.latency_seconds,
-        },
-    )
+    payload = {
+        "workload": "resnet34",
+        "accs": list(accs),
+        "budget": "fast",
+        "off_seconds": off_s,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "cold_speedup": cold_speedup,
+        "warm_speedup": warm_speedup,
+        "warm_hits": stats.hits,
+        "warm_misses": stats.misses,
+        "entries": stats.entries,
+        "latency_seconds": warm_solution.latency_seconds,
+    }
+    emit_json("layer_cache_level2", payload)
+    emit_trajectory("layer_cache_level2", payload)
     # Bit-identity above is the noise-free regression contract; the
     # wall-clock gate defaults to the 2x target and can be relaxed on
     # noisy shared runners (CI sets a margin that still catches a
@@ -273,4 +279,144 @@ def bench_layer_cache_level2_resnet34(benchmark):
     min_speedup = float(os.environ.get("REPRO_LAYER_CACHE_MIN_SPEEDUP", "2.0"))
     assert warm_speedup >= min_speedup, (
         f"layer-cache warm speedup {warm_speedup:.2f}x < {min_speedup:.2f}x"
+    )
+
+
+def bench_session_reuse_repeated_search(benchmark):
+    """Warm-search headline: a seed sweep through one ``MarsSession``.
+
+    The server-workload scenario: the same graph searched under several
+    GA seeds. The fresh arm builds a new ``Mars`` (new evaluator, empty
+    sub-problem cache) per seed — exactly what the facade did before
+    sessions; the session arm reuses one evaluator, one cross-search
+    solution cache, memoized greedy seeds and the partition/profile
+    catalogs. Asserts bit-identical per-seed results and >= 1.5x
+    wall-clock for the session (relaxable via
+    ``REPRO_SESSION_MIN_SPEEDUP`` on noisy shared runners; broken reuse
+    collapses the ratio to ~1x and still fails).
+    """
+    graph = build_model("squeezenet")
+    topology = f1_16xlarge()
+    seeds = (0, 1, 2)
+
+    # Un-timed warm-up levels the process-wide memos (sharding plans,
+    # cycle models) so the arms differ only in session-owned state.
+    Mars(graph, topology).search(seed=seeds[0])
+
+    def fresh_sweep():
+        return [Mars(graph, topology).search(seed=s) for s in seeds]
+
+    def session_sweep():
+        session = MarsSession(graph, topology)
+        return [session.search(seed=s) for s in seeds]
+
+    fresh_s, fresh_results = _best_of(fresh_sweep, rounds=2)
+    session_s, session_results = _best_of(session_sweep, rounds=2)
+    benchmark.pedantic(session_sweep, rounds=1, iterations=1)
+
+    for fresh, warm in zip(fresh_results, session_results):
+        assert warm.latency_ms == fresh.latency_ms
+        assert warm.describe() == fresh.describe()
+        assert warm.ga.history == fresh.ga.history
+
+    speedup = fresh_s / session_s
+    benchmark.extra_info["fresh_s"] = round(fresh_s, 3)
+    benchmark.extra_info["session_s"] = round(session_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    emit(
+        "hot_path_session_reuse",
+        "Warm-search session: SqueezeNet seed sweep "
+        f"(seeds {list(seeds)}, identical per-seed results, asserted)\n"
+        f"fresh Mars per search : {fresh_s * 1e3:9.1f} ms\n"
+        f"one MarsSession       : {session_s * 1e3:9.1f} ms\n"
+        f"speedup               : {speedup:9.2f}x\n",
+    )
+    payload = {
+        "workload": "squeezenet",
+        "seeds": list(seeds),
+        "fresh_seconds": fresh_s,
+        "session_seconds": session_s,
+        "speedup": speedup,
+        "latency_ms": [r.latency_ms for r in session_results],
+    }
+    emit_json("session_reuse", payload)
+    emit_trajectory("session_reuse", payload)
+    min_speedup = float(os.environ.get("REPRO_SESSION_MIN_SPEEDUP", "1.5"))
+    assert speedup >= min_speedup, (
+        f"session reuse speedup {speedup:.2f}x < {min_speedup:.2f}x"
+    )
+
+
+def bench_batch_decode_population(benchmark):
+    """Vectorized population decode vs the scalar per-genome loop.
+
+    Builds a GA-shaped ResNet-34 population (one base genome plus
+    mutated children, the duplicate-ordering-heavy regime every
+    generation is) and decodes it both ways on fresh fitnesses.
+    Strategies must match exactly — the cold-search contract — and the
+    batch pass must be measurably faster (gate via
+    ``REPRO_BATCH_DECODE_MIN_SPEEDUP``, default 1.2x).
+    """
+    graph = build_model("resnet34")
+    evaluator = MappingEvaluator(graph, f1_16xlarge())
+    nodes = graph.nodes()
+    accs = (0, 1, 2, 3)
+
+    def fresh_fitness():
+        return Level2Fitness(evaluator, nodes, accs, design2_systolic())
+
+    rng = make_rng(0)
+    length = fresh_fitness().genome_length
+    base = rng.random(length)
+    population = [base]
+    for _ in range(63):
+        mask = rng.random(length) < 0.15
+        child = np.clip(
+            base + mask * rng.normal(0.0, 0.25, length), 0.0, 1.0
+        )
+        population.append(child)
+
+    def scalar_decode():
+        fitness = fresh_fitness()
+        return [fitness._decode(genome) for genome in population]
+
+    def batch_decode():
+        fitness = fresh_fitness()
+        fitness.prepare_population(population)
+        return [fitness.decode(genome) for genome in population]
+
+    scalar_decode(), batch_decode()  # warm process-wide memos
+    scalar_s, scalar_strategies = _best_of(scalar_decode, rounds=5)
+    batch_s, batch_strategies = _best_of(batch_decode, rounds=5)
+    benchmark(lambda: fresh_fitness().prepare_population(population))
+
+    assert batch_strategies == scalar_strategies  # bit-identical decode
+
+    speedup = scalar_s / batch_s
+    benchmark.extra_info["scalar_ms"] = round(scalar_s * 1e3, 1)
+    benchmark.extra_info["batch_ms"] = round(batch_s * 1e3, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    emit(
+        "hot_path_batch_decode",
+        "Vectorized genome decode: 64-genome ResNet-34 population "
+        "(identical strategies, asserted)\n"
+        f"scalar loop : {scalar_s * 1e3:9.1f} ms\n"
+        f"numpy batch : {batch_s * 1e3:9.1f} ms\n"
+        f"speedup     : {speedup:9.2f}x\n",
+    )
+    payload = {
+        "workload": "resnet34",
+        "accs": list(accs),
+        "population": len(population),
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "speedup": speedup,
+    }
+    emit_json("batch_decode", payload)
+    emit_trajectory("batch_decode", payload)
+    min_speedup = float(
+        os.environ.get("REPRO_BATCH_DECODE_MIN_SPEEDUP", "1.2")
+    )
+    assert speedup >= min_speedup, (
+        f"batch decode speedup {speedup:.2f}x < {min_speedup:.2f}x"
     )

@@ -8,6 +8,7 @@ the entry point; the submodules expose each piece for direct use:
 * :mod:`repro.core.strategy_space` — the per-layer design space.
 * :mod:`repro.core.evaluator` — the latency oracle.
 * :mod:`repro.core.ga` — the two-level genetic algorithm (Fig. 3).
+* :mod:`repro.core.session` — warm-search sessions for server workloads.
 * :mod:`repro.core.baselines` — comparison mappers.
 """
 
@@ -24,6 +25,7 @@ from repro.core.formulation import (
     SetAssignment,
 )
 from repro.core.mapper import Mars, MarsResult
+from repro.core.session import MarsSession, SessionStats
 from repro.core.sharding import (
     NO_PARALLELISM,
     ParallelismStrategy,
@@ -48,8 +50,10 @@ __all__ = [
     "MappingEvaluator",
     "Mars",
     "MarsResult",
+    "MarsSession",
     "NO_PARALLELISM",
     "ParallelismStrategy",
+    "SessionStats",
     "SetAssignment",
     "ShardingPlan",
     "cached_sharding_plan",

@@ -288,6 +288,11 @@ class MappingEvaluator:
         # re-hashes a whole AcceleratorDesign. Keyed by object equality:
         # same-named design variants (sweeps) get distinct tokens.
         self._design_tokens: dict[AcceleratorDesign, int] = {}
+        # Greedy-shortlist choices memoized per (layer, acc set, design):
+        # the level-2 seeding argmin is deterministic, so warm sessions
+        # and overlapping sub-problems reuse it instead of re-pricing
+        # the whole SHORTLIST per layer.
+        self._greedy_memo: dict[tuple, ParallelismStrategy] = {}
 
     def __getstate__(self) -> dict:
         # The layer cache never rides along when the evaluator is
@@ -298,6 +303,7 @@ class MappingEvaluator:
         state = dict(self.__dict__)
         state["_layer_cache"] = None
         state["_design_tokens"] = {}  # tokens only index the live cache
+        state["_greedy_memo"] = {}  # keyed by the dropped tokens
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -340,6 +346,47 @@ class MappingEvaluator:
         """Drop all cached layer costs (counters survive)."""
         if self._layer_cache is not None:
             self._layer_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Greedy-shortlist memo (level-2 seeding)
+    # ------------------------------------------------------------------
+
+    @property
+    def greedy_cache_entries(self) -> int:
+        """Memoized greedy per-layer choices held by this evaluator."""
+        return len(self._greedy_memo)
+
+    def clear_greedy_cache(self) -> None:
+        """Drop all memoized greedy shortlist choices."""
+        self._greedy_memo.clear()
+
+    def cached_greedy_strategy(
+        self,
+        layer_name: str,
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+    ) -> ParallelismStrategy | None:
+        """Memoized greedy shortlist choice, or ``None`` when unseen.
+
+        The choice is a pure argmin over the level-2 strategy shortlist
+        (no RNG involved), so it is shared across sub-problems, searches
+        and session lifetimes without affecting results.
+        """
+        return self._greedy_memo.get(
+            (layer_name, accs, self._design_token(design))
+        )
+
+    def store_greedy_strategy(
+        self,
+        layer_name: str,
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+        strategy: ParallelismStrategy,
+    ) -> None:
+        """Record a greedy shortlist choice for later reuse."""
+        self._greedy_memo[
+            (layer_name, accs, self._design_token(design))
+        ] = strategy
 
     # ------------------------------------------------------------------
     # Per-set evaluation (the level-2 GA fitness)

@@ -85,6 +85,24 @@ class EvaluationBackend(ABC):
     ) -> list[float]:
         """Fitness of every genome, in input order."""
 
+    def prepare(
+        self, fitness: Fitness, genomes: Sequence[np.ndarray]
+    ) -> None:
+        """Show ``fitness`` the whole batch before ``evaluate``.
+
+        Fitness objects may expose ``prepare_population(genomes)`` to
+        hoist per-genome work into one vectorized pass over the batch
+        (e.g. the level-2 NumPy genome decode). The hook is purely a
+        wall-clock lever: it pre-fills memos that the per-genome calls
+        would fill anyway, so results never depend on it running.
+        In-process backends invoke it; the process-pool backend skips
+        it when the batch will fan out (workers decode locally, so a
+        parent-side pass would be wasted work).
+        """
+        hook = getattr(fitness, "prepare_population", None)
+        if hook is not None:
+            hook(genomes)
+
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         """Apply ``fn`` to every item, in input order.
 
@@ -347,6 +365,26 @@ class ProcessPoolBackend(EvaluationBackend):
         raise TypeError("ProcessPoolBackend cannot be pickled")
 
     # -- EvaluationBackend ---------------------------------------------
+
+    def prepare(
+        self, fitness: Fitness, genomes: Sequence[np.ndarray]
+    ) -> None:
+        """Batch-prepare only when the batch will stay in-process.
+
+        When the batch is big enough to fan out, workers decode their
+        chunks locally (the fitness's memos never pickle), so a
+        parent-side vectorized pass would be pure overhead. If pickling
+        later fails and the batch degrades to the serial path, genomes
+        are simply decoded one by one — results are identical either
+        way.
+        """
+        if (
+            self.workers > 1
+            and not self._broken
+            and len(genomes) >= max(2, self.workers)
+        ):
+            return
+        super().prepare(fitness, genomes)
 
     def evaluate(
         self, fitness: Fitness, genomes: Sequence[np.ndarray]

@@ -167,6 +167,11 @@ class GeneticAlgorithm:
             values = self.batch_fitness(genomes)
             self._batch_evaluations += len(genomes)
         else:
+            # Population-level preparation (e.g. the level-2 vectorized
+            # genome decode) runs before per-genome evaluation; see
+            # EvaluationBackend.prepare. Purely wall-clock: the memos it
+            # fills would be filled genome by genome otherwise.
+            self.backend.prepare(self.fitness, genomes)
             values = self.backend.evaluate(self.fitness, genomes)
         require(
             len(values) == len(genomes),

@@ -8,10 +8,19 @@ The level-1 genome decodes into
    initialized from profiled performance), and
 3. **cut points** allocating contiguous layer ranges to the sets.
 
-Each decoded individual spawns second-level sub-problems — memoized
-across the whole run, since different level-1 individuals frequently
+Each decoded individual spawns second-level sub-problems — memoized in
+a ``solution_cache``, since different level-1 individuals frequently
 share (layer-range, accelerator-set, design) triples — and its fitness
 is the full-mapping latency including inter-set transfers.
+
+Each sub-problem's level-2 GA draws from a private RNG derived from the
+sub-problem *key* (:func:`repro.utils.rng.stable_seed`), not from a
+stream shared across sub-problems. A sub-problem therefore always walks
+the identical search trajectory no matter which search (or which seed)
+first posed it, which is what lets the ``solution_cache`` be shared
+across searches — a :class:`~repro.core.session.MarsSession` keeps one
+alive across its lifetime — without breaking bit-identity with a cold
+search.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.accelerators.base import AcceleratorDesign
-from repro.accelerators.profiler import profile_designs
+from repro.accelerators.profiler import WorkloadProfile, profile_designs
 from repro.core.evaluator import MappingEvaluator, MappingEvaluation
 from repro.core.formulation import (
     AcceleratorSet,
@@ -44,7 +53,7 @@ from repro.core.ga.heuristics import (
 from repro.core.ga.level2 import SetSolution, optimize_set
 from repro.dnn.graph import ComputationGraph
 from repro.system.topology import SystemTopology
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import make_rng, stable_seed
 from repro.utils.validation import require
 
 
@@ -129,6 +138,12 @@ class Level1Search:
     * ``"throughput"`` — the steady-state pipeline initiation interval
       when streaming many inputs (extension; favours balanced multi-set
       pipelines over one big set).
+
+    ``solution_cache``, ``partitions`` and ``design_profile`` may be
+    supplied by a long-lived owner (see
+    :class:`~repro.core.session.MarsSession`) to warm-start repeated
+    searches; all three hold seed-independent state, so sharing them
+    never changes results — only wall-clock.
     """
 
     graph: ComputationGraph
@@ -140,7 +155,8 @@ class Level1Search:
     objective: str = "latency"
     solution_cache: dict[tuple, SetSolution] = field(default_factory=dict)
     backend: EvaluationBackend | None = None
-    level2_rng: np.random.Generator | None = None
+    partitions: list[Partition] | None = None
+    design_profile: WorkloadProfile | None = None
 
     def __post_init__(self) -> None:
         require(
@@ -156,10 +172,10 @@ class Level1Search:
             # Level 1 has always memoized fitness at the phenotype level
             # (the genome→mapping decode is massively many-to-one). The
             # base stays serial regardless of ``workers``: level-1
-            # fitness is stateful — it consumes the shared level-2 RNG
-            # and fills the sub-problem solution cache — so shipping it
-            # to pool workers would fork that state. Parallelism goes to
-            # the level-2 GAs instead, whose fitness is stateless.
+            # fitness is stateful — it fills the sub-problem solution
+            # cache — so shipping it to pool workers would fork that
+            # state. Parallelism goes to the level-2 GAs instead, whose
+            # fitness is stateless.
             self.backend = CachedBackend(
                 SerialBackend(), key_fn=self.phenotype_key
             )
@@ -168,15 +184,14 @@ class Level1Search:
             if self.budget.level2.workers > 1
             else None
         )
-        self.partitions = candidate_partitions(self.topology, self.backend)
+        if self.partitions is None:
+            self.partitions = candidate_partitions(self.topology, self.backend)
         self.max_sets = max(len(p) for p in self.partitions)
         self._compute_positions = [
             i
             for i, node in enumerate(self.graph.nodes())
             if node.is_compute
         ]
-        if self.level2_rng is None:
-            self.level2_rng = spawn_rngs(self.rng, 1)[0]
 
     # ------------------------------------------------------------------
     # Genome layout
@@ -292,11 +307,23 @@ class Level1Search:
             accs,
             design,
             self.budget.level2,
-            self.level2_rng,
+            self._subproblem_rng(key),
             backend=self._level2_pool,
         )
         self.solution_cache[key] = solution
         return solution
+
+    @staticmethod
+    def _subproblem_rng(key: tuple) -> np.random.Generator:
+        """Private RNG of one level-2 sub-problem, derived from its key.
+
+        Content-keyed (not drawn from a shared stream): the trajectory
+        of a sub-problem's GA never depends on which other sub-problems
+        ran first, which search posed it, or the level-1 seed. This is
+        the property that makes ``solution_cache`` entries reusable
+        across searches, seeds and sessions with bit-identical results.
+        """
+        return make_rng(stable_seed("level2-subproblem", *key))
 
     def build_mapping(self, decoded: DecodedIndividual) -> Mapping:
         assignments = []
@@ -349,14 +376,18 @@ class Level1Search:
 
         One seed per partition candidate, with design genes initialized
         from the profiled normalized performance (Section V) and evenly
-        spread cuts.
+        spread cuts. The workload profile is computed once and kept on
+        ``design_profile`` so warm sessions skip re-profiling.
         """
         seeds = []
         design_seed: list[float] = []
         if self.topology.kind == "adaptive":
-            profile = profile_designs(self.graph, self.designs, self.backend)
+            if self.design_profile is None:
+                self.design_profile = profile_designs(
+                    self.graph, self.designs, self.backend
+                )
             design_seed = design_gene_seed(
-                profile, [d.name for d in self.designs]
+                self.design_profile, [d.name for d in self.designs]
             )
         for index, partition in enumerate(self.partitions):
             genome = np.zeros(self.genome_length)

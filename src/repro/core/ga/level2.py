@@ -170,10 +170,28 @@ def greedy_strategies(
     compute, collectives, rotations and — in the streaming scenario —
     weight loads, so it lands close to the per-layer optimum. With a
     parallel ``backend``, layers are scored concurrently.
+
+    Choices are memoized on the evaluator per (layer, acc set, design):
+    the argmin is deterministic, so overlapping sub-problems within one
+    search — and every search of a warm session — skip re-pricing the
+    shortlist for layers already seen.
     """
-    scorer = GreedyLayerScorer(evaluator, accs, design)
-    chosen = (backend or SerialBackend()).map(scorer, compute_nodes)
-    return {node.name: strategy for node, strategy in zip(compute_nodes, chosen)}
+    chosen: dict[str, ParallelismStrategy] = {}
+    missing: list[LayerNode] = []
+    for node in compute_nodes:
+        cached = evaluator.cached_greedy_strategy(node.name, accs, design)
+        if cached is None:
+            missing.append(node)
+        else:
+            chosen[node.name] = cached
+    if missing:
+        scorer = GreedyLayerScorer(evaluator, accs, design)
+        for node, strategy in zip(
+            missing, (backend or SerialBackend()).map(scorer, missing)
+        ):
+            evaluator.store_greedy_strategy(node.name, accs, design, strategy)
+            chosen[node.name] = strategy
+    return chosen
 
 
 def _seed_genomes(
@@ -250,6 +268,11 @@ class Level2Fitness:
     #: ``__call__`` pass that follows.
     DECODE_MEMO_CAPACITY = 1024
 
+    #: Bound on the per-layer rank→strategy memo. Keys are tiny (a few
+    #: ints) and repeat heavily under GA mutation — most children keep
+    #: most layers' priority *orderings* even when gene values move.
+    RANK_MEMO_CAPACITY = 8192
+
     def __init__(
         self,
         evaluator: MappingEvaluator,
@@ -264,13 +287,17 @@ class Level2Fitness:
         self.design = design
         self.dtype_bytes = evaluator.options.dtype_bytes
         self._decode_memo = LruCache(self.DECODE_MEMO_CAPACITY)
+        self._rank_memo: dict[tuple, ParallelismStrategy] = {}
+        self._layer_dims: list[tuple] | None = None  # built on first batch
 
     def __getstate__(self) -> dict:
-        # The memo stays home when the fitness ships to pool workers:
-        # a per-batch-changing memo would change the pickled payload
+        # The memos stay home when the fitness ships to pool workers:
+        # per-batch-changing state would change the pickled payload
         # bytes every generation and defeat the workers' payload memo.
         state = dict(self.__dict__)
         state["_decode_memo"] = None
+        state["_rank_memo"] = {}
+        state["_layer_dims"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -312,6 +339,149 @@ class Level2Fitness:
     def decode(self, genome: np.ndarray) -> dict[str, ParallelismStrategy]:
         """Per-layer strategies of ``genome`` (memoized; returns a copy)."""
         return dict(self._decoded(genome))
+
+    # -- vectorized population decode ----------------------------------
+
+    def prepare_population(
+        self, genomes: list[np.ndarray] | tuple[np.ndarray, ...]
+    ) -> None:
+        """Batch-decode a whole population into the decode memo.
+
+        Called by in-process backends before per-genome evaluation (see
+        :meth:`EvaluationBackend.prepare`): all strategy genes are
+        decoded in one vectorized NumPy pass — the gene→count
+        truncation, both priority argsorts and the SS gate run on a
+        ``(population, layers, genes)`` tensor instead of per genome —
+        and the per-layer feasibility fallback goes through a small
+        rank-keyed memo. Bit-identical to the scalar
+        :func:`decode_layer_strategy` path (property-tested); the
+        subsequent ``phenotype_key``/``__call__`` calls are memo hits.
+        """
+        fresh_raws: list[bytes] = []
+        fresh_rows: list[np.ndarray] = []
+        seen: set[bytes] = set()
+        for genome in genomes:
+            row = np.ascontiguousarray(np.asarray(genome, dtype=float))
+            raw = row.tobytes()
+            if raw in seen:
+                continue
+            seen.add(raw)
+            if self._decode_memo.get(raw) is not None:
+                continue
+            fresh_raws.append(raw)
+            fresh_rows.append(row)
+        if not fresh_rows:
+            return
+        for raw, strategies in zip(
+            fresh_raws, self._decode_batch(np.stack(fresh_rows))
+        ):
+            self._decode_memo.put(raw, strategies)
+
+    def _decode_batch(
+        self, population: np.ndarray
+    ) -> list[dict[str, ParallelismStrategy]]:
+        """Decode a ``(genomes, genome_length)`` matrix in one pass."""
+        layers = len(self.compute_nodes)
+        genes = population.reshape(len(population), layers, GENES_PER_LAYER)
+        # The vectorized stages mirror decode_layer_strategy exactly:
+        # float truncation toward zero, stable descending argsort (ties
+        # by canonical dim index), 0.5 threshold. One ``tolist`` per
+        # array hands the whole batch to the Python assembly loop as
+        # plain ints — per-element numpy scalar access would dominate.
+        es_counts = np.minimum((genes[:, :, 0] * 3).astype(np.int64), 2).tolist()
+        es_ranks = np.argsort(-genes[:, :, 1:7], axis=2, kind="stable").tolist()
+        ss_enabled = (genes[:, :, 7] > 0.5).tolist()
+        ss_ranks = np.argsort(-genes[:, :, 8:14], axis=2, kind="stable").tolist()
+
+        parallelism = len(self.accs)
+        names = [node.name for node in self.compute_nodes]
+        memo = self._rank_memo
+        decoded = []
+        for g_counts, g_es, g_ss_on, g_ss in zip(
+            es_counts, es_ranks, ss_enabled, ss_ranks
+        ):
+            strategies = {}
+            for i, name in enumerate(names):
+                key = (i, g_counts[i], tuple(g_es[i]), g_ss_on[i], tuple(g_ss[i]))
+                strategy = memo.get(key)
+                if strategy is None:
+                    strategy = self._resolve_ranks(key, parallelism)
+                strategies[name] = strategy
+            decoded.append(strategies)
+        return decoded
+
+    def _layer_dim_info(self, index: int) -> tuple:
+        """(spec, ES-eligible dim indices, SS-eligible dim indices)."""
+        if self._layer_dims is None:
+            parallelism = len(self.accs)
+            dims = []
+            for node in self.compute_nodes:
+                spec = node.conv_spec()
+                extents = spec.loop_extents()
+                dims.append(
+                    (
+                        spec,
+                        frozenset(
+                            i
+                            for i, dim in enumerate(LOOP_DIMS)
+                            if extents[dim] >= 2
+                        ),
+                        frozenset(
+                            i
+                            for i, dim in enumerate(LOOP_DIMS)
+                            if extents[dim] >= parallelism
+                        ),
+                    )
+                )
+            self._layer_dims = dims
+        return self._layer_dims[index]
+
+    def _resolve_ranks(
+        self, key: tuple, parallelism: int
+    ) -> ParallelismStrategy:
+        """Feasibility fallback from precomputed priority orders.
+
+        Identical to the tail of :func:`decode_layer_strategy`; memoized
+        on the ``(layer, count, ES ranks, SS gate, SS ranks)`` key
+        because mutation mostly perturbs gene *values* without changing
+        the priority *order*, so evolved populations repeat keys
+        heavily.
+        """
+        layer_index, es_count, es_ranks, ss_enabled, ss_ranks = key
+        if parallelism == 1:
+            return NO_PARALLELISM
+        spec, es_eligible, ss_eligible = self._layer_dim_info(layer_index)
+        es_order = [LOOP_DIMS[i] for i in es_ranks if i in es_eligible]
+        ss_order = [LOOP_DIMS[i] for i in ss_ranks if i in ss_eligible]
+        strategy = NO_PARALLELISM
+        for count in range(es_count, -1, -1):
+            es = tuple(sorted(es_order[:count], key=LOOP_DIMS.index))
+            ss = None
+            if ss_enabled:
+                ss = next((d for d in ss_order if d not in es), None)
+            candidate = ParallelismStrategy(es=es, ss=ss)
+            if (
+                cached_sharding_plan(
+                    spec, candidate, parallelism, self.dtype_bytes
+                )
+                is not None
+            ):
+                strategy = candidate
+                break
+            if ss is not None:
+                candidate = ParallelismStrategy(es=es, ss=None)
+                if (
+                    cached_sharding_plan(
+                        spec, candidate, parallelism, self.dtype_bytes
+                    )
+                    is not None
+                ):
+                    strategy = candidate
+                    break
+        if len(self._rank_memo) >= self.RANK_MEMO_CAPACITY:
+            self._rank_memo.clear()  # flat dict beats LRU bookkeeping here
+        self._rank_memo[key] = strategy
+        return strategy
 
     def phenotype_key(self, genome: np.ndarray) -> tuple:
         """Tuple of per-layer strategy sub-keys, one per compute layer."""

@@ -5,6 +5,13 @@
 >>> from repro.system import f1_16xlarge
 >>> result = Mars(build_model("tiny_cnn"), f1_16xlarge()).search(seed=0)
 >>> result.latency_ms  # doctest: +SKIP
+
+Each ``Mars`` instance keeps an internal
+:class:`~repro.core.session.MarsSession`, so repeated ``search`` calls
+(seed sweeps) and ``compile_program`` share one warm evaluator and one
+cross-search sub-problem cache instead of rebuilding them per call.
+Warm state never changes results — only wall-clock (see
+:mod:`repro.core.session`).
 """
 
 from __future__ import annotations
@@ -13,49 +20,14 @@ from dataclasses import dataclass, field, replace
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
-from repro.core.evaluator import (
-    EvaluatorOptions,
-    LayerCacheStats,
-    MappingEvaluation,
-    MappingEvaluator,
-)
-from repro.core.formulation import Mapping
-from repro.core.ga.engine import GAResult
-from repro.core.ga.level1 import Level1Search, SearchBudget
+from repro.core.evaluator import EvaluatorOptions
+from repro.core.ga.level1 import SearchBudget
+from repro.core.session import MarsResult, MarsSession
 from repro.dnn.graph import ComputationGraph
 from repro.simulator.program import ExecutionProgram
 from repro.system.topology import SystemTopology
-from repro.utils.rng import make_rng
 
-
-@dataclass
-class MarsResult:
-    """Outcome of a MARS search."""
-
-    mapping: Mapping
-    evaluation: MappingEvaluation
-    ga: GAResult
-
-    @property
-    def latency_ms(self) -> float:
-        return self.evaluation.latency_ms
-
-    @property
-    def feasible(self) -> bool:
-        return self.evaluation.feasible
-
-    def describe(self) -> str:
-        return self.mapping.describe()
-
-    @property
-    def convergence(self) -> list[float]:
-        """Best latency (seconds) per level-1 generation."""
-        return self.ga.history
-
-    @property
-    def layer_cache(self) -> LayerCacheStats | None:
-        """Layer-cost cache counters of the search (``None`` when off)."""
-        return self.ga.layer_cache
+__all__ = ["Mars", "MarsResult", "MarsSession"]
 
 
 @dataclass
@@ -91,28 +63,67 @@ class Mars:
     workers: int | None = None
     cache: bool | None = None
     layer_cache: bool | None = None
+    _session: MarsSession | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _session_config: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def _options(self) -> EvaluatorOptions:
         if self.layer_cache is None:
             return self.options
         return replace(self.options, layer_cache=self.layer_cache)
 
-    def search(self, seed: int = 0) -> MarsResult:
-        """Run the two-level GA and return the best mapping found."""
-        evaluator = MappingEvaluator(self.graph, self.topology, self._options())
-        search = Level1Search(
-            graph=self.graph,
-            topology=self.topology,
-            designs=self.designs if self.topology.kind == "adaptive" else [],
-            evaluator=evaluator,
-            budget=self.budget.with_backend(self.workers, self.cache),
-            rng=make_rng(seed),
-            objective=self.objective,
+    def _config_key(self) -> tuple:
+        """Snapshot of everything the internal session was built from."""
+        return (
+            id(self.graph),
+            id(self.topology),
+            tuple(self.designs),
+            self.budget,
+            self.options,
+            self.objective,
+            self.workers,
+            self.cache,
+            self.layer_cache,
         )
-        mapping, evaluation, ga_result = search.run()
-        return MarsResult(mapping=mapping, evaluation=evaluation, ga=ga_result)
+
+    def session(self) -> MarsSession:
+        """The facade's internal warm session (built lazily).
+
+        One session backs every ``search``/``compile_program`` of this
+        instance; it is rebuilt — dropping the warm caches — if any
+        configuration field was reassigned since the last call.
+        """
+        key = self._config_key()
+        if self._session is None or self._session_config != key:
+            self._session = MarsSession(
+                graph=self.graph,
+                topology=self.topology,
+                designs=self.designs,
+                budget=self.budget,
+                options=self._options(),
+                objective=self.objective,
+                workers=self.workers,
+                cache=self.cache,
+            )
+            self._session_config = key
+        return self._session
+
+    def search(self, seed: int = 0) -> MarsResult:
+        """Run the two-level GA and return the best mapping found.
+
+        Repeated calls on one instance reuse the internal session's
+        warm caches; results are bit-identical to a cold search either
+        way.
+        """
+        return self.session().search(seed=seed)
 
     def compile_program(self, result: MarsResult) -> ExecutionProgram:
-        """Replayable execution program of a search result."""
-        evaluator = MappingEvaluator(self.graph, self.topology, self._options())
-        return evaluator.compile_program(result.mapping)
+        """Replayable execution program of a search result.
+
+        Shares the session evaluator with ``search`` instead of
+        building a fresh one per emission.
+        """
+        return self.session().compile_program(result)

@@ -1,0 +1,221 @@
+"""Warm-search sessions: one evaluator, many searches.
+
+A one-shot :class:`~repro.core.mapper.Mars` search discards everything
+it learned the moment it returns: the evaluator's per-layer cost cache,
+the level-1 sub-problem solutions, the greedy seeding choices, the
+partition catalog and the profiled design table. A server workload —
+one mapper process serving many models, seeds and objectives — re-poses
+near-identical sub-problems constantly, so :class:`MarsSession` keeps
+all of that state alive across searches:
+
+* one :class:`~repro.core.evaluator.MappingEvaluator` (its layer-cost
+  cache and greedy-shortlist memo stay warm);
+* one cross-search level-1 ``solution_cache`` — sound because each
+  sub-problem's level-2 GA draws from a content-keyed RNG
+  (:func:`repro.utils.rng.stable_seed`), making its solution
+  independent of which search, seed or session first posed it;
+* the partition catalog and profiled design table, which depend only
+  on the topology/workload.
+
+Everything cached is seed-independent, so a warm session is
+**bit-identical** to a fresh ``Mars`` per search (property-tested in
+``tests/core/test_session.py``) — the session only changes wall-clock.
+
+>>> from repro.core.session import MarsSession
+>>> from repro.dnn import build_model
+>>> from repro.system import f1_16xlarge
+>>> session = MarsSession(build_model("tiny_cnn"), f1_16xlarge())
+>>> sweep = [session.search(seed=s) for s in range(4)]  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.profiler import WorkloadProfile
+from repro.accelerators.registry import table2_designs
+from repro.core.evaluator import (
+    EvaluatorOptions,
+    LayerCacheStats,
+    MappingEvaluation,
+    MappingEvaluator,
+)
+from repro.core.formulation import Mapping
+from repro.core.ga.engine import GAResult
+from repro.core.ga.heuristics import Partition
+from repro.core.ga.level1 import Level1Search, SearchBudget
+from repro.core.ga.level2 import SetSolution
+from repro.dnn.graph import ComputationGraph
+from repro.simulator.program import ExecutionProgram
+from repro.system.topology import SystemTopology
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class MarsResult:
+    """Outcome of a MARS search."""
+
+    mapping: Mapping
+    evaluation: MappingEvaluation
+    ga: GAResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.evaluation.latency_ms
+
+    @property
+    def feasible(self) -> bool:
+        return self.evaluation.feasible
+
+    def describe(self) -> str:
+        return self.mapping.describe()
+
+    @property
+    def convergence(self) -> list[float]:
+        """Best latency (seconds) per level-1 generation."""
+        return self.ga.history
+
+    @property
+    def layer_cache(self) -> LayerCacheStats | None:
+        """Layer-cost cache counters of the search (``None`` when off)."""
+        return self.ga.layer_cache
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Warm-state counters of a :class:`MarsSession`."""
+
+    #: Searches run through the session so far.
+    searches: int
+    #: Level-1 sub-problem solutions held in the cross-search cache.
+    subproblem_solutions: int
+    #: Greedy shortlist choices memoized on the evaluator.
+    greedy_entries: int
+    #: The shared evaluator's layer-cost cache counters (session-cumulative).
+    layer_cache: LayerCacheStats
+
+
+class MarsSession:
+    """A long-lived MARS mapping service for one workload on one system.
+
+    Construction mirrors :class:`~repro.core.mapper.Mars` (same
+    arguments, same defaults); the difference is lifetime. ``Mars``
+    itself keeps an internal session, so repeated ``Mars.search`` calls
+    on one instance are already warm — construct a session directly
+    when you want explicit control over cache lifetime, shared-state
+    observability (:attr:`stats`) or the shared :attr:`evaluator` (e.g.
+    to price baselines against the same warm caches).
+
+    Cache lifetime and invalidation: all warm state keys on the
+    session's fixed ``(graph, topology, designs, budget, options,
+    objective)`` configuration — none of it depends on the search seed,
+    so nothing ever needs invalidating while the configuration stands.
+    Use a new session (or :meth:`clear`) for a different workload,
+    system or cost-model configuration; mutating those objects
+    in-place mid-session is not supported.
+
+    Args:
+        graph: The DNN workload.
+        topology: The multi-accelerator system.
+        designs: Design catalog for adaptive systems (Table II default).
+        budget: GA budgets for the two levels.
+        options: Cost-model knobs.
+        objective: ``"latency"`` (paper) or ``"throughput"``.
+        workers: Override both levels' evaluation parallelism.
+        cache: Override both levels' fitness memoization.
+        layer_cache: Override :attr:`EvaluatorOptions.layer_cache`.
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology,
+        designs: list[AcceleratorDesign] | None = None,
+        budget: SearchBudget | None = None,
+        options: EvaluatorOptions | None = None,
+        objective: str = "latency",
+        workers: int | None = None,
+        cache: bool | None = None,
+        layer_cache: bool | None = None,
+    ) -> None:
+        require(
+            objective in ("latency", "throughput"),
+            f"objective must be 'latency' or 'throughput', got {objective!r}",
+        )
+        self.graph = graph
+        self.topology = topology
+        self.designs = designs if designs is not None else table2_designs()
+        self.budget = (budget or SearchBudget.fast()).with_backend(
+            workers, cache
+        )
+        options = options or EvaluatorOptions()
+        if layer_cache is not None:
+            options = replace(options, layer_cache=layer_cache)
+        self.options = options
+        self.objective = objective
+        #: The one evaluator every search, baseline pricing and program
+        #: emission of this session shares.
+        self.evaluator = MappingEvaluator(graph, topology, options)
+        #: Cross-search level-1 sub-problem solutions.
+        self.solution_cache: dict[tuple, SetSolution] = {}
+        self._partitions: list[Partition] | None = None
+        self._design_profile: WorkloadProfile | None = None
+        self._searches = 0
+
+    def search(self, seed: int = 0) -> MarsResult:
+        """Run the two-level GA, reusing every warm cache of the session.
+
+        Bit-identical to a fresh :class:`~repro.core.mapper.Mars` search
+        with the same configuration and seed — warm state only cuts
+        wall-clock.
+        """
+        search = Level1Search(
+            graph=self.graph,
+            topology=self.topology,
+            designs=self.designs if self.topology.kind == "adaptive" else [],
+            evaluator=self.evaluator,
+            budget=self.budget,
+            rng=make_rng(seed),
+            objective=self.objective,
+            solution_cache=self.solution_cache,
+            partitions=self._partitions,
+            design_profile=self._design_profile,
+        )
+        mapping, evaluation, ga_result = search.run()
+        self._partitions = search.partitions
+        self._design_profile = search.design_profile
+        self._searches += 1
+        return MarsResult(mapping=mapping, evaluation=evaluation, ga=ga_result)
+
+    def compile_program(self, result: MarsResult) -> ExecutionProgram:
+        """Replayable execution program of a search result.
+
+        Emitted through the session's shared evaluator rather than a
+        fresh one (program emission itself always re-prices — see
+        :attr:`EvaluatorOptions.layer_cache` — but the process-wide
+        sharding-plan and cycle-model memos stay warm, and no duplicate
+        evaluator state is built).
+        """
+        return self.evaluator.compile_program(result.mapping)
+
+    @property
+    def stats(self) -> SessionStats:
+        """Current warm-state counters of the session."""
+        return SessionStats(
+            searches=self._searches,
+            subproblem_solutions=len(self.solution_cache),
+            greedy_entries=self.evaluator.greedy_cache_entries,
+            layer_cache=self.evaluator.layer_cache_stats,
+        )
+
+    def clear(self) -> None:
+        """Drop all warm state (results stay identical; re-search pays
+        cold wall-clock again). Counters on the evaluator's layer cache
+        survive, being cumulative by design."""
+        self.solution_cache.clear()
+        self.evaluator.clear_layer_cache()
+        self.evaluator.clear_greedy_cache()
+        self._partitions = None
+        self._design_profile = None

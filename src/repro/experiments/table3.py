@@ -13,7 +13,8 @@ from repro.accelerators import table2_designs
 from repro.core.baselines import computation_prioritized_mapping
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga import SearchBudget
-from repro.core.mapper import Mars, MarsResult
+from repro.core.mapper import MarsResult
+from repro.core.session import MarsSession
 from repro.dnn import build_model
 from repro.dnn.models import TABLE3_MODELS
 from repro.system import f1_16xlarge
@@ -87,12 +88,21 @@ def run_table3(
     budget: SearchBudget | None = None,
     options: EvaluatorOptions | None = None,
     seed: int = 0,
+    seeds: tuple[int, ...] | None = None,
 ) -> Table3Result:
-    """Reproduce Table III (or a subset of its rows)."""
+    """Reproduce Table III (or a subset of its rows).
+
+    ``seeds`` sweeps several GA seeds per model through one warm
+    :class:`~repro.core.session.MarsSession` (cross-search caches make
+    the extra seeds cheap) and keeps each model's best mapping; the
+    default ``(seed,)`` is the paper's single-seed run. Per-seed
+    results are bit-identical to fresh single-seed searches.
+    """
     topology = topology or f1_16xlarge()
     budget = budget or SearchBudget.fast()
     options = options or EvaluatorOptions()
     designs = table2_designs()
+    seeds = seeds if seeds is not None else (seed,)
 
     result = Table3Result()
     for name in models:
@@ -101,9 +111,11 @@ def run_table3(
         baseline = computation_prioritized_mapping(
             graph, topology, designs, options
         )
-        mars = Mars(
+        session = MarsSession(
             graph, topology, designs=designs, budget=budget, options=options
-        ).search(seed=seed)
+        )
+        sweep = [session.search(seed=s) for s in seeds]
+        mars = min(sweep, key=lambda r: r.evaluation.latency_seconds)
         result.mars_results[name] = mars
         result.rows.append(
             Table3Row(

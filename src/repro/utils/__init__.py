@@ -6,7 +6,7 @@ without import cycles.
 """
 
 from repro.utils.cache import LruCache
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import make_rng, spawn_rngs, stable_seed
 from repro.utils.tables import format_table
 from repro.utils.units import (
     GBPS,
@@ -38,5 +38,6 @@ __all__ = [
     "require_positive",
     "seconds_to_human",
     "spawn_rngs",
+    "stable_seed",
     "transfer_seconds",
 ]

@@ -8,6 +8,8 @@ experiments are reproducible from a single integer seed.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -32,3 +34,23 @@ def spawn_rngs(parent: np.random.Generator, count: int) -> list[np.random.Genera
         raise ValueError(f"count must be >= 0, got {count}")
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def stable_seed(*parts: object) -> int:
+    """A 63-bit seed derived deterministically from ``parts``.
+
+    Unlike :func:`hash`, the derivation is stable across processes and
+    interpreter runs (it never consults ``PYTHONHASHSEED``): the parts'
+    ``repr`` is digested with BLAKE2b. This is what makes content-keyed
+    RNG streams possible — e.g. each level-2 sub-problem derives its
+    generator from its (layer range, accelerator set, design) key, so a
+    sub-problem solved in any search, any process, any session always
+    walks the identical GA trajectory and its solution can be cached
+    and shared without breaking bit-identity.
+
+    Parts must have deterministic ``repr``s (ints, strings, tuples —
+    not objects falling back to ``object.__repr__``'s memory address).
+    """
+    blob = repr(parts).encode("utf-8")
+    digest = hashlib.blake2b(blob, digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1

@@ -1,0 +1,160 @@
+"""Warm-search sessions: cross-search determinism and state reuse.
+
+The contract under test: every cache a :class:`MarsSession` keeps warm
+(evaluator layer costs, level-1 sub-problem solutions, greedy seeds,
+partition catalog, design profile) is seed-independent, so a warm
+session is bit-identical to a fresh :class:`Mars` per search — with the
+layer cache on or off — and a session run twice replays itself exactly.
+"""
+
+import pytest
+
+from repro.core import Mars, MarsSession
+from repro.core.evaluator import EvaluatorOptions, MappingEvaluator
+from repro.core.ga import Level1Search, SearchBudget
+from repro.dnn import build_model
+from repro.system import f1_16xlarge, h2h_fixed_system
+from repro.utils import make_rng
+
+GRAPH = build_model("tiny_cnn")
+TOPOLOGY = f1_16xlarge()
+SEEDS = (0, 1, 2)
+
+
+def _same_result(a, b):
+    assert a.latency_ms == b.latency_ms
+    assert a.describe() == b.describe()
+    assert a.ga.history == b.ga.history
+    assert a.feasible == b.feasible
+
+
+class TestSessionDeterminism:
+    def test_session_run_twice_same_seed_is_bit_identical(self):
+        session = MarsSession(GRAPH, TOPOLOGY)
+        first = session.search(seed=3)
+        second = session.search(seed=3)
+        _same_result(first, second)
+
+    def test_two_sessions_replay_identically(self):
+        sweep_a = [MarsSession(GRAPH, TOPOLOGY).search(seed=s) for s in SEEDS]
+        session = MarsSession(GRAPH, TOPOLOGY)
+        sweep_b = [session.search(seed=s) for s in SEEDS]
+        for a, b in zip(sweep_a, sweep_b):
+            _same_result(a, b)
+
+    def test_warm_session_matches_fresh_mars_per_search(self):
+        session = MarsSession(GRAPH, TOPOLOGY)
+        warm = [session.search(seed=s) for s in SEEDS]
+        fresh = [Mars(GRAPH, TOPOLOGY).search(seed=s) for s in SEEDS]
+        for w, f in zip(warm, fresh):
+            _same_result(w, f)
+
+    def test_warm_session_matches_fresh_mars_with_layer_cache_off(self):
+        options = EvaluatorOptions(layer_cache=False)
+        session = MarsSession(GRAPH, TOPOLOGY, options=options)
+        warm = [session.search(seed=s) for s in SEEDS]
+        fresh = [
+            Mars(GRAPH, TOPOLOGY, options=options).search(seed=s)
+            for s in SEEDS
+        ]
+        for w, f in zip(warm, fresh):
+            _same_result(w, f)
+        assert session.stats.layer_cache.lookups == 0
+
+    def test_fixed_topology_session(self):
+        system = h2h_fixed_system(2.0)
+        session = MarsSession(GRAPH, system)
+        warm = [session.search(seed=s) for s in (0, 1)]
+        fresh = [Mars(GRAPH, system).search(seed=s) for s in (0, 1)]
+        for w, f in zip(warm, fresh):
+            _same_result(w, f)
+
+    def test_subproblem_solutions_are_search_order_independent(self):
+        """A sub-problem solved under any level-1 seed solves identically.
+
+        The level-2 RNG is derived from the sub-problem key, so shared
+        keys across independent searches must carry identical solutions
+        — the property that makes the cross-search cache sound.
+        """
+        from repro.accelerators import table2_designs
+
+        def solve(seed):
+            search = Level1Search(
+                graph=GRAPH,
+                topology=TOPOLOGY,
+                designs=table2_designs(),
+                evaluator=MappingEvaluator(GRAPH, TOPOLOGY),
+                budget=SearchBudget.fast(),
+                rng=make_rng(seed),
+            )
+            search.run()
+            return search.solution_cache
+
+        cache_a = solve(0)
+        cache_b = solve(9)
+        shared = set(cache_a) & set(cache_b)
+        assert shared  # different seeds still pose common sub-problems
+        for key in shared:
+            assert (
+                cache_a[key].latency_seconds == cache_b[key].latency_seconds
+            )
+            assert cache_a[key].strategies == cache_b[key].strategies
+
+
+class TestSessionState:
+    def test_stats_accumulate_and_cache_is_reused(self):
+        session = MarsSession(GRAPH, TOPOLOGY)
+        session.search(seed=0)
+        after_first = session.stats
+        assert after_first.searches == 1
+        assert after_first.subproblem_solutions > 0
+        assert after_first.greedy_entries > 0
+        # A same-seed re-search poses only known sub-problems.
+        session.search(seed=0)
+        after_second = session.stats
+        assert after_second.searches == 2
+        assert (
+            after_second.subproblem_solutions
+            == after_first.subproblem_solutions
+        )
+
+    def test_clear_drops_warm_state_but_not_results(self):
+        session = MarsSession(GRAPH, TOPOLOGY)
+        first = session.search(seed=1)
+        session.clear()
+        assert session.stats.subproblem_solutions == 0
+        assert session.stats.greedy_entries == 0
+        _same_result(first, session.search(seed=1))
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError):
+            MarsSession(GRAPH, TOPOLOGY, objective="power")
+
+
+class TestMarsFacadeSession:
+    def test_facade_reuses_one_session_and_evaluator(self):
+        mars = Mars(GRAPH, TOPOLOGY)
+        result = mars.search(seed=0)
+        session = mars.session()
+        evaluator = session.evaluator
+        mars.search(seed=1)
+        mars.compile_program(result)
+        assert mars.session() is session
+        assert mars.session().evaluator is evaluator
+        assert session.stats.searches == 2
+
+    def test_facade_rebuilds_session_when_config_changes(self):
+        mars = Mars(GRAPH, TOPOLOGY)
+        mars.search(seed=0)
+        before = mars.session()
+        mars.layer_cache = False
+        assert mars.session() is not before
+        assert not mars.session().evaluator.layer_cache_enabled
+
+    def test_compile_program_matches_analytical_latency(self):
+        mars = Mars(GRAPH, TOPOLOGY)
+        result = mars.search(seed=0)
+        program = mars.compile_program(result)
+        assert program.analytical_seconds() == pytest.approx(
+            result.evaluation.latency_seconds, rel=1e-9
+        )
