@@ -6,10 +6,13 @@ models regress, every experiment slows down proportionally. The two
 layer-cache benches double as the cache's speedup contract (>= 2x,
 asserted), the session bench as the warm-search contract (>= 1.5x for
 repeated searches through one ``MarsSession``, asserted, bit-identical
-to fresh searches) and the batch-decode bench as the vectorized decode
-contract (bit-identical, measurably faster); all run as a single-round
-smoke in CI so regressions fail the build, and their headline numbers
-land in the repo-root ``BENCH_hot_paths.json`` trajectory file.
+to fresh searches), the pool-reuse bench as the executor-lifecycle
+contract (a ``workers=2`` warm sweep spawns exactly one
+``ProcessPoolExecutor``, asserted) and the batch-decode bench as the
+vectorized decode contract (bit-identical, measurably faster); all run
+as a single-round smoke in CI so regressions fail the build, and their
+headline numbers land in the repo-root ``BENCH_hot_paths.json``
+trajectory file.
 """
 
 import os
@@ -344,6 +347,115 @@ def bench_session_reuse_repeated_search(benchmark):
     min_speedup = float(os.environ.get("REPRO_SESSION_MIN_SPEEDUP", "1.5"))
     assert speedup >= min_speedup, (
         f"session reuse speedup {speedup:.2f}x < {min_speedup:.2f}x"
+    )
+
+
+def bench_session_pool_reuse_workers(benchmark):
+    """Pool-hoist contract: a warm multi-worker sweep spawns ONE executor.
+
+    Before the hoist, every ``workers > 1`` search spawned (and tore
+    down) a ``ProcessPoolExecutor`` inside ``Level1Search.run()``; now a
+    session-owned pool serves the whole sweep. Both arms share one warm
+    evaluator and sub-problem cache, so they differ *only* in executor
+    lifecycle: the hoisted arm hands one ``level2_backend`` down to
+    every search, the respawn arm recreates the pre-hoist
+    pool-per-search behaviour. The noise-free contract is the spawn
+    counter (1 vs one per search, asserted) plus per-seed bit-identity
+    with a serial session sweep; wall-clock is reported, with a
+    no-regression bound (``REPRO_POOL_REUSE_MAX_SLOWDOWN``) rather than
+    a speedup gate — on fork-based Linux an executor spawn is cheap, so
+    the win is lifecycle hygiene (no per-search worker churn), not a
+    headline ratio.
+    """
+    from repro.accelerators import table2_designs
+    from repro.core.ga import Level1Search, ProcessPoolBackend, SearchBudget
+
+    graph = build_model("tiny_cnn")
+    topology = f1_16xlarge()
+    budget = SearchBudget.fast().with_backend(workers=2)
+    seeds = (0, 1, 2, 3)
+
+    def sweep(hoisted):
+        evaluator = MappingEvaluator(graph, topology)
+        cache = {}
+        pool = ProcessPoolBackend(2) if hoisted else None
+        partitions = profile = None
+        spawns = 0
+        results = []
+        for s in seeds:
+            search = Level1Search(
+                graph=graph,
+                topology=topology,
+                designs=table2_designs(),
+                evaluator=evaluator,
+                budget=budget,
+                rng=make_rng(s),
+                solution_cache=cache,
+                level2_backend=pool,
+                partitions=partitions,
+                design_profile=profile,
+            )
+            results.append(search.run())
+            if not hoisted:
+                spawns += search.level2_backend.pool_spawns
+            partitions, profile = search.partitions, search.design_profile
+        if pool is not None:
+            spawns = pool.pool_spawns
+            pool.close()
+        return spawns, results
+
+    def serial_sweep():
+        session = MarsSession(graph, topology)
+        return [session.search(seed=s) for s in seeds]
+
+    sweep(True)  # warm process-wide memos
+    hoisted_s, (hoisted_spawns, hoisted_results) = _best_of(
+        lambda: sweep(True), rounds=3
+    )
+    respawn_s, (respawn_spawns, _) = _best_of(
+        lambda: sweep(False), rounds=3
+    )
+    benchmark.pedantic(lambda: sweep(True), rounds=1, iterations=1)
+
+    # The hoist's contract: one executor for the whole sweep, against
+    # one per search before, with bit-identical results either way.
+    assert hoisted_spawns == 1, f"expected 1 executor, got {hoisted_spawns}"
+    assert respawn_spawns == len(seeds)
+    serial_results = serial_sweep()
+    for (_, evaluation, ga), fresh in zip(hoisted_results, serial_results):
+        assert evaluation.latency_ms == fresh.evaluation.latency_ms
+        assert ga.history == fresh.ga.history
+
+    ratio = hoisted_s / respawn_s
+    benchmark.extra_info["hoisted_ms"] = round(hoisted_s * 1e3, 1)
+    benchmark.extra_info["respawn_ms"] = round(respawn_s * 1e3, 1)
+    benchmark.extra_info["executor_spawns"] = hoisted_spawns
+    emit(
+        "hot_path_session_pool_reuse",
+        "Session-owned level-2 pool: tiny_cnn warm sweep, workers=2 "
+        f"(seeds {list(seeds)}, identical results, asserted)\n"
+        f"pool per search (pre-hoist) : {respawn_s * 1e3:9.1f} ms "
+        f"({respawn_spawns} executors)\n"
+        f"one session pool            : {hoisted_s * 1e3:9.1f} ms "
+        f"({hoisted_spawns} executor)\n",
+    )
+    payload = {
+        "workload": "tiny_cnn",
+        "seeds": list(seeds),
+        "workers": 2,
+        "hoisted_seconds": hoisted_s,
+        "respawn_seconds": respawn_s,
+        "hoisted_spawns": hoisted_spawns,
+        "respawn_spawns": respawn_spawns,
+    }
+    emit_json("session_pool_reuse", payload)
+    emit_trajectory("session_pool_reuse", payload)
+    max_slowdown = float(
+        os.environ.get("REPRO_POOL_REUSE_MAX_SLOWDOWN", "1.25")
+    )
+    assert ratio <= max_slowdown, (
+        f"hoisted sweep {ratio:.2f}x slower than respawn-per-search "
+        f"(> {max_slowdown:.2f}x)"
     )
 
 

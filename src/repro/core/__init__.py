@@ -9,6 +9,7 @@ the entry point; the submodules expose each piece for direct use:
 * :mod:`repro.core.evaluator` — the latency oracle.
 * :mod:`repro.core.ga` — the two-level genetic algorithm (Fig. 3).
 * :mod:`repro.core.session` — warm-search sessions for server workloads.
+* :mod:`repro.core.serving` — the multi-tenant session registry.
 * :mod:`repro.core.baselines` — comparison mappers.
 """
 
@@ -25,6 +26,7 @@ from repro.core.formulation import (
     SetAssignment,
 )
 from repro.core.mapper import Mars, MarsResult
+from repro.core.serving import MultiModelSession, ServingStats
 from repro.core.session import MarsSession, SessionStats
 from repro.core.sharding import (
     NO_PARALLELISM,
@@ -51,7 +53,9 @@ __all__ = [
     "Mars",
     "MarsResult",
     "MarsSession",
+    "MultiModelSession",
     "NO_PARALLELISM",
+    "ServingStats",
     "ParallelismStrategy",
     "SessionStats",
     "SetAssignment",

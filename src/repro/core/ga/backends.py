@@ -59,12 +59,19 @@ class BackendStats:
     unique evaluations under caching; ``cache_hits``/``cache_misses``
     stay zero for uncached backends. ``cache_evictions`` counts entries
     dropped by a bounded memoizer (zero when unbounded).
+    ``pool_spawns``/``pool_failures`` count worker-pool executors
+    created and pooled batches the pool *broke* mid-flight (each re-ran
+    serially); work that merely cannot be pickled also runs serially
+    but is not a pool failure and is not counted. Both stay zero for
+    in-process backends.
     """
 
     evaluations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    pool_spawns: int = 0
+    pool_failures: int = 0
 
     def since(self, earlier: "BackendStats") -> "BackendStats":
         """Counter deltas relative to an earlier snapshot."""
@@ -73,6 +80,8 @@ class BackendStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
             cache_evictions=self.cache_evictions - earlier.cache_evictions,
+            pool_spawns=self.pool_spawns - earlier.pool_spawns,
+            pool_failures=self.pool_failures - earlier.pool_failures,
         )
 
 
@@ -263,46 +272,92 @@ _WORKER_PAYLOADS: dict[bytes, Callable[..., Any]] = {}
 _WORKER_PAYLOAD_LIMIT = 8
 
 
-def _run_chunk(payload: bytes, chunk: list[Any]) -> list[Any]:
+def _run_chunk(payload: bytes, chunk_blob: bytes) -> list[Any]:
     target = _WORKER_PAYLOADS.get(payload)
     if target is None:
         if len(_WORKER_PAYLOADS) >= _WORKER_PAYLOAD_LIMIT:
             _WORKER_PAYLOADS.clear()
         target = pickle.loads(payload)
         _WORKER_PAYLOADS[payload] = target
-    return [target(item) for item in chunk]
+    return [target(item) for item in pickle.loads(chunk_blob)]
 
 
 class ProcessPoolBackend(EvaluationBackend):
     """Evaluate batches on a pool of worker processes.
 
-    One executor serves the backend's whole lifetime: each batch ships
-    its callable once (workers memoize the unpickled object), so the
-    same pool can serve many sub-problems without respawning. Results
-    come back in input order, making a parallel run bit-identical to a
-    serial one. When the callable cannot be pickled (closures, bound
-    methods of stateful objects), or the pool breaks mid-batch,
-    evaluation silently degrades to the serial path — correctness never
-    depends on the pool.
+    One executor serves across batches: each batch ships its callable
+    once (workers memoize the unpickled object), so the same pool can
+    serve many sub-problems — and, when owned by a
+    :class:`~repro.core.session.MarsSession`, many *searches* — without
+    respawning. Results come back in input order, making a parallel run
+    bit-identical to a serial one. When the callable cannot be pickled
+    (closures, bound methods of stateful objects), or the pool breaks
+    mid-batch, evaluation silently degrades to the serial path —
+    correctness never depends on the pool.
+
+    Failure policy: a broken batch retires the *executor*, not the
+    backend. The next pooled batch spawns a fresh executor, so one
+    transient ``BrokenProcessPool`` (an OOM-killed worker, a fork
+    hiccup) costs exactly one serial batch. Only ``failure_limit``
+    *consecutive* failures retire the backend for good — a genuinely
+    hostile environment stops burning a respawn per batch — and any
+    successful pooled batch resets the streak. ``pool_failures`` /
+    ``pool_spawns`` count both in :attr:`stats`.
     """
 
-    def __init__(self, workers: int, chunksize: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        chunksize: int | None = None,
+        failure_limit: int = 3,
+    ) -> None:
         require_positive(workers, "workers")
         if chunksize is not None:
             require_positive(chunksize, "chunksize")
+        require_positive(failure_limit, "failure_limit")
         self.workers = workers
         self.chunksize = chunksize
+        self.failure_limit = failure_limit
         self._evaluations = 0
         self._executor = None
-        self._broken = False
+        self._spawns = 0
+        self._failures = 0
+        self._consecutive_failures = 0
 
     # -- pool plumbing -------------------------------------------------
+
+    @property
+    def retired(self) -> bool:
+        """True once ``failure_limit`` consecutive batches broke the
+        pool; evaluation stays serial for the backend's lifetime."""
+        return self._consecutive_failures >= self.failure_limit
+
+    @property
+    def pool_spawns(self) -> int:
+        """Executors created so far (1 for an unbroken lifetime)."""
+        return self._spawns
+
+    @property
+    def pool_failures(self) -> int:
+        """Pooled batches the pool broke mid-flight (re-run serially).
+
+        Unpicklable callables/items also degrade to serial but are not
+        counted — the pool itself is healthy, the work just cannot
+        travel.
+        """
+        return self._failures
+
+    def _record_failure(self) -> None:
+        self._failures += 1
+        self._consecutive_failures += 1
 
     def _payload_for(self, target: Callable[..., Any]) -> bytes | None:
         # No unpicklability memo: ids get recycled, and a failed pickle
         # attempt is cheap (backends themselves refuse via __getstate__
-        # before any heavy state is serialized).
-        if self._broken:
+        # before any heavy state is serialized). An unpicklable callable
+        # is not a pool *failure* — the pool is fine, the work just
+        # cannot travel — so it never counts toward retirement.
+        if self.retired:
             return None
         try:
             return pickle.dumps(target)
@@ -317,8 +372,9 @@ class ProcessPoolBackend(EvaluationBackend):
         try:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         except OSError:
-            self._broken = True
+            self._record_failure()
             return False
+        self._spawns += 1
         return True
 
     def _shutdown_pool(self) -> None:
@@ -343,20 +399,35 @@ class ProcessPoolBackend(EvaluationBackend):
             for i in range(0, len(items), chunksize)
         ]
         try:
+            # Chunks are pre-pickled here rather than handed to the
+            # executor's feeder thread: an item that fails to pickle
+            # mid-batch inside the feeder strands the pending work items
+            # and deadlocks ``shutdown`` (CPython's process-pool feeder
+            # never unregisters them). Serializing in the caller turns
+            # that into an ordinary exception — and, like an unpicklable
+            # callable, it is not a *pool* failure, so it falls back to
+            # serial without burning an executor.
+            blobs = [pickle.dumps(chunk) for chunk in chunks]
+        except Exception:
+            return [target(item) for item in items]
+        try:
             futures = [
-                self._executor.submit(_run_chunk, payload, chunk)
-                for chunk in chunks
+                self._executor.submit(_run_chunk, payload, blob)
+                for blob in blobs
             ]
             results: list[Any] = []
             for future in futures:  # submission order == input order
                 results.extend(future.result())
-            return results
         except Exception:
             # BrokenProcessPool, pickling of items, worker crashes — the
-            # batch reruns serially and the pool is retired.
-            self._broken = True
+            # batch reruns serially and this executor is retired; the
+            # next pooled batch respawns unless the failure streak has
+            # hit ``failure_limit``.
+            self._record_failure()
             self._shutdown_pool()
             return [target(item) for item in items]
+        self._consecutive_failures = 0
+        return results
 
     def __getstate__(self) -> None:
         # Backends must never ride along when a fitness closing over one
@@ -380,7 +451,7 @@ class ProcessPoolBackend(EvaluationBackend):
         """
         if (
             self.workers > 1
-            and not self._broken
+            and not self.retired
             and len(genomes) >= max(2, self.workers)
         ):
             return
@@ -398,14 +469,31 @@ class ProcessPoolBackend(EvaluationBackend):
     @property
     def using_pool(self) -> bool:
         """Whether a live worker pool is currently attached."""
-        return self._executor is not None and not self._broken
+        return self._executor is not None and not self.retired
 
     @property
     def stats(self) -> BackendStats:
-        return BackendStats(evaluations=self._evaluations)
+        return BackendStats(
+            evaluations=self._evaluations,
+            pool_spawns=self._spawns,
+            pool_failures=self._failures,
+        )
 
     def close(self) -> None:
         self._shutdown_pool()
+
+    def __del__(self) -> None:
+        # GC safety net for callers that drop a backend (or a session
+        # holding one) without closing it: release the workers without
+        # blocking. Explicit close() remains the contract — this only
+        # keeps abandoned pools from accumulating processes until
+        # interpreter exit.
+        try:
+            executor = self._executor
+        except AttributeError:  # partially-constructed instance
+            return
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------

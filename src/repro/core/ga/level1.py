@@ -53,6 +53,7 @@ from repro.core.ga.heuristics import (
 from repro.core.ga.level2 import SetSolution, optimize_set
 from repro.dnn.graph import ComputationGraph
 from repro.system.topology import SystemTopology
+from repro.utils.cache import LruCache
 from repro.utils.rng import make_rng, stable_seed
 from repro.utils.validation import require
 
@@ -143,7 +144,10 @@ class Level1Search:
     supplied by a long-lived owner (see
     :class:`~repro.core.session.MarsSession`) to warm-start repeated
     searches; all three hold seed-independent state, so sharing them
-    never changes results — only wall-clock.
+    never changes results — only wall-clock. ``level2_backend``
+    likewise lets an owner hand down one process pool for the level-2
+    sub-GAs instead of this search spawning (and tearing down) its own;
+    ``run()`` only closes a pool it built itself.
     """
 
     graph: ComputationGraph
@@ -153,8 +157,13 @@ class Level1Search:
     budget: SearchBudget
     rng: np.random.Generator
     objective: str = "latency"
-    solution_cache: dict[tuple, SetSolution] = field(default_factory=dict)
+    # Any mapping with dict-shaped get/setitem works here; sessions pass
+    # a bounded ``repro.utils.cache.LruCache``.
+    solution_cache: dict[tuple, SetSolution] | LruCache = field(
+        default_factory=dict
+    )
     backend: EvaluationBackend | None = None
+    level2_backend: EvaluationBackend | None = None
     partitions: list[Partition] | None = None
     design_profile: WorkloadProfile | None = None
 
@@ -179,11 +188,18 @@ class Level1Search:
             self.backend = CachedBackend(
                 SerialBackend(), key_fn=self.phenotype_key
             )
-        self._level2_pool: ProcessPoolBackend | None = (
-            ProcessPoolBackend(self.budget.level2.workers)
-            if self.budget.level2.workers > 1
-            else None
+        # The level-2 pool may be owned by a long-lived caller (a
+        # MarsSession hands one down so repeated searches stop
+        # respawning executors); only a pool built here is closed by
+        # ``run()``.
+        self._owns_level2_pool = (
+            self.level2_backend is None and self.budget.level2.workers > 1
         )
+        if self._owns_level2_pool:
+            self.level2_backend = ProcessPoolBackend(
+                self.budget.level2.workers
+            )
+        self._level2_pool = self.level2_backend
         if self.partitions is None:
             self.partitions = candidate_partitions(self.topology, self.backend)
         self.max_sets = max(len(p) for p in self.partitions)
@@ -439,7 +455,7 @@ class Level1Search:
                 )
             return mapping, evaluation, result
         finally:
-            if self._level2_pool is not None:
+            if self._owns_level2_pool and self._level2_pool is not None:
                 self._level2_pool.close()
             if self._owns_backend:
                 self.backend.close()

@@ -26,6 +26,7 @@ from repro.core.session import MarsResult, MarsSession
 from repro.dnn.graph import ComputationGraph
 from repro.simulator.program import ExecutionProgram
 from repro.system.topology import SystemTopology
+from repro.utils.identity import IdentityRef
 
 __all__ = ["Mars", "MarsResult", "MarsSession"]
 
@@ -76,10 +77,20 @@ class Mars:
         return replace(self.options, layer_cache=self.layer_cache)
 
     def _config_key(self) -> tuple:
-        """Snapshot of everything the internal session was built from."""
+        """Snapshot of everything the internal session was built from.
+
+        Graph and topology are compared by *identity* but held through
+        :class:`~repro.utils.identity.IdentityRef` — a strong reference,
+        not a bare ``id()``. A bare id would alias: CPython recycles ids
+        after GC, so a new graph allocated at a dead graph's address
+        would silently match the stale key and be served the stale
+        session's warm caches (a mapping for the wrong workload). The
+        wrapper pins the original object alive for as long as the key
+        is retained, making recycling impossible by construction.
+        """
         return (
-            id(self.graph),
-            id(self.topology),
+            IdentityRef(self.graph),
+            IdentityRef(self.topology),
             tuple(self.designs),
             self.budget,
             self.options,
@@ -93,11 +104,14 @@ class Mars:
         """The facade's internal warm session (built lazily).
 
         One session backs every ``search``/``compile_program`` of this
-        instance; it is rebuilt — dropping the warm caches — if any
-        configuration field was reassigned since the last call.
+        instance; it is rebuilt — dropping the warm caches and shutting
+        down any worker pool — if any configuration field was
+        reassigned since the last call.
         """
         key = self._config_key()
         if self._session is None or self._session_config != key:
+            if self._session is not None:
+                self._session.close()
             self._session = MarsSession(
                 graph=self.graph,
                 topology=self.topology,
@@ -127,3 +141,21 @@ class Mars:
         building a fresh one per emission.
         """
         return self.session().compile_program(result)
+
+    def close(self) -> None:
+        """Shut down the internal session (worker pool included).
+
+        Only matters with ``workers > 1`` — a serial facade holds no OS
+        resources — and the facade rebuilds a fresh session if used
+        again after closing.
+        """
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+            self._session_config = None
+
+    def __enter__(self) -> "Mars":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,298 @@
+"""Multi-tenant serving: one mapper process, many models.
+
+A :class:`~repro.core.session.MarsSession` keeps one workload's search
+state warm. A serving deployment (the Herald / MAGMA multi-DNN setting
+in PAPERS.md) answers mapping requests for *many* workloads — several
+networks behind one endpoint, A/B'd variants of one network, merged
+multi-DNN graphs from :func:`repro.dnn.multi.combine_graphs` — and
+rebuilding a session per request would throw the warm caches away
+exactly when they pay off.
+
+:class:`MultiModelSession` is the registry that closes that gap: it
+routes each request to its tenant's warm session, building sessions
+lazily and evicting least-recently-used tenants beyond a configurable
+``capacity`` (an evicted tenant's session is closed — its worker pool
+shuts down — and a later request simply rebuilds it cold). Tenants are
+keyed by workload/topology object *identity* (through strong-referenced
+:class:`~repro.utils.identity.IdentityRef` keys, so a recycled ``id``
+can never alias two workloads) plus the search objective; the design
+catalog, budgets and cost-model options are fixed per registry, exactly
+like one session's configuration.
+
+Routing never changes results: every tenant search is bit-identical to
+a fresh :class:`~repro.core.mapper.Mars` run with the same
+configuration and seed (property-tested in
+``tests/core/test_serving.py``).
+
+>>> from repro.core.serving import MultiModelSession
+>>> from repro.dnn import build_model
+>>> from repro.system import f1_16xlarge
+>>> registry = MultiModelSession(f1_16xlarge(), capacity=4)
+>>> vgg, squeeze = build_model("vgg16"), build_model("squeezenet")
+>>> best = {
+...     g.name: registry.search(g, seed=0) for g in (vgg, squeeze)
+... }  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.core.evaluator import EvaluatorOptions
+from repro.core.ga.level1 import SearchBudget
+from repro.core.session import MarsResult, MarsSession, SessionStats
+from repro.dnn.graph import ComputationGraph
+from repro.system.topology import SystemTopology
+from repro.utils.identity import IdentityRef
+from repro.utils.validation import require, require_positive
+
+__all__ = ["MultiModelSession", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Registry-level counters of a :class:`MultiModelSession`."""
+
+    #: Maximum number of live tenant sessions.
+    capacity: int
+    #: Tenant sessions currently alive.
+    tenants: int
+    #: Requests routed to an already-warm tenant session.
+    hits: int
+    #: Requests that built a tenant session (first sight or rebuilt
+    #: after eviction).
+    misses: int
+    #: Tenant sessions closed under capacity pressure (explicit
+    #: ``evict()`` calls are not counted — this gauges whether
+    #: ``capacity`` is undersized).
+    evictions: int
+    #: Searches routed through the registry so far.
+    searches: int
+    #: Per-tenant warm-state counters, keyed by tenant label (graph
+    #: name, ``:objective``-suffixed for non-default objectives and
+    #: ``@n``-suffixed when distinct graph objects share a name).
+    per_tenant: dict[str, SessionStats]
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class MultiModelSession:
+    """An LRU registry of warm :class:`MarsSession`s, one per tenant.
+
+    The registry fixes everything tenants share — the system topology,
+    design catalog, GA budgets, cost-model options and backend knobs —
+    and keys tenants on what varies per request: the workload graph
+    (by identity), an optional per-request topology override, and the
+    objective. :meth:`search` is the serving entry point;
+    :meth:`session_for` exposes the underlying session when a caller
+    needs the warm evaluator or per-tenant cache control.
+
+    Capacity and eviction: at most ``capacity`` sessions stay alive;
+    building one beyond that closes the least-recently-*used* tenant
+    (its worker pool shuts down, its warm caches are dropped). Eviction
+    is invisible to results — a re-request rebuilds the tenant cold and
+    searches bit-identically — it only trades memory for warm-up
+    wall-clock.
+
+    Args:
+        topology: Default system for every tenant (overridable per
+            request).
+        designs: Design catalog for adaptive systems (Table II default
+            inside each session).
+        budget: GA budgets for the two levels.
+        options: Cost-model knobs.
+        objective: Default objective; per-request override allowed.
+        workers: Override both levels' evaluation parallelism. Each
+            tenant session owns its pool for its lifetime.
+        cache: Override both levels' fitness memoization.
+        layer_cache: Override :attr:`EvaluatorOptions.layer_cache`.
+        capacity: Maximum number of live tenant sessions.
+        subproblem_capacity: Per-tenant LRU bound on the cross-search
+            sub-problem cache.
+    """
+
+    DEFAULT_CAPACITY = 8
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        designs: list[AcceleratorDesign] | None = None,
+        budget: SearchBudget | None = None,
+        options: EvaluatorOptions | None = None,
+        objective: str = "latency",
+        workers: int | None = None,
+        cache: bool | None = None,
+        layer_cache: bool | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        subproblem_capacity: int = MarsSession.DEFAULT_SUBPROBLEM_CAPACITY,
+    ) -> None:
+        require_positive(capacity, "capacity")
+        self.topology = topology
+        self.designs = designs
+        self.budget = budget
+        self.options = options
+        self.objective = objective
+        self.workers = workers
+        self.cache = cache
+        self.layer_cache = layer_cache
+        self.capacity = capacity
+        self.subproblem_capacity = subproblem_capacity
+        self._tenants: OrderedDict[tuple, MarsSession] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._searches = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Tenant routing
+    # ------------------------------------------------------------------
+
+    def _key(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology,
+        objective: str,
+    ) -> tuple:
+        # IdentityRef pins graph/topology alive while the key is held,
+        # so tenant identity can never be aliased by a recycled id.
+        return (IdentityRef(graph), IdentityRef(topology), objective)
+
+    def session_for(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> MarsSession:
+        """The tenant's warm session, built on first sight.
+
+        Refreshes the tenant's LRU recency; may evict another tenant
+        when a new session pushes the registry past ``capacity``.
+        """
+        require(not self._closed, "serving registry is closed")
+        topology = topology if topology is not None else self.topology
+        objective = objective if objective is not None else self.objective
+        key = self._key(graph, topology, objective)
+        session = self._tenants.get(key)
+        if session is not None:
+            self._hits += 1
+            self._tenants.move_to_end(key)
+            return session
+        self._misses += 1
+        session = MarsSession(
+            graph,
+            topology,
+            designs=self.designs,
+            budget=self.budget,
+            options=self.options,
+            objective=objective,
+            workers=self.workers,
+            cache=self.cache,
+            layer_cache=self.layer_cache,
+            subproblem_capacity=self.subproblem_capacity,
+        )
+        self._tenants[key] = session
+        while len(self._tenants) > self.capacity:
+            _, evicted = self._tenants.popitem(last=False)
+            evicted.close()
+            self._evictions += 1
+        return session
+
+    def search(
+        self,
+        graph: ComputationGraph,
+        seed: int = 0,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> MarsResult:
+        """Route one search to its tenant's warm session.
+
+        Bit-identical to a fresh :class:`~repro.core.mapper.Mars`
+        search with the same configuration and seed, whether the tenant
+        was warm, cold, or rebuilt after eviction.
+        """
+        result = self.session_for(graph, topology, objective).search(
+            seed=seed
+        )
+        self._searches += 1
+        return result
+
+    def evict(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> bool:
+        """Explicitly close and drop one tenant; True if it was alive."""
+        topology = topology if topology is not None else self.topology
+        objective = objective if objective is not None else self.objective
+        session = self._tenants.pop(
+            self._key(graph, topology, objective), None
+        )
+        if session is None:
+            return False
+        session.close()
+        # Deliberate evictions stay out of ``ServingStats.evictions`` —
+        # that counter measures capacity *pressure*, the signal for
+        # sizing ``capacity``, and caller-initiated drops are not it.
+        return True
+
+    def __contains__(self, graph: ComputationGraph) -> bool:
+        """Whether ``graph`` has a live tenant under the default
+        topology and objective."""
+        return (
+            self._key(graph, self.topology, self.objective) in self._tenants
+        )
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServingStats:
+        """Registry counters plus per-tenant session counters."""
+        per_tenant: dict[str, SessionStats] = {}
+        for (graph_ref, _, objective), session in self._tenants.items():
+            base = graph_ref.obj.name
+            if objective != self.objective:
+                base = f"{base}:{objective}"
+            label, suffix = base, 2
+            while label in per_tenant:
+                label = f"{base}@{suffix}"
+                suffix += 1
+            per_tenant[label] = session.stats
+        return ServingStats(
+            capacity=self.capacity,
+            tenants=len(self._tenants),
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            searches=self._searches,
+            per_tenant=per_tenant,
+        )
+
+    def close(self) -> None:
+        """Close every tenant session and refuse further routing."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self._tenants.values():
+            session.close()
+        self._tenants.clear()
+
+    def __enter__(self) -> "MultiModelSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

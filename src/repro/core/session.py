@@ -10,12 +10,18 @@ all of that state alive across searches:
 
 * one :class:`~repro.core.evaluator.MappingEvaluator` (its layer-cost
   cache and greedy-shortlist memo stay warm);
-* one cross-search level-1 ``solution_cache`` — sound because each
-  sub-problem's level-2 GA draws from a content-keyed RNG
+* one cross-search level-1 ``solution_cache`` (LRU-bounded) — sound
+  because each sub-problem's level-2 GA draws from a content-keyed RNG
   (:func:`repro.utils.rng.stable_seed`), making its solution
   independent of which search, seed or session first posed it;
 * the partition catalog and profiled design table, which depend only
-  on the topology/workload.
+  on the topology/workload;
+* with ``workers > 1``, one level-2 worker pool for the session's
+  whole lifetime, instead of an executor respawn per search.
+
+One mapper process serving *many* models is
+:class:`repro.core.serving.MultiModelSession`, a registry of these
+sessions.
 
 Everything cached is seed-independent, so a warm session is
 **bit-identical** to a fresh ``Mars`` per search (property-tested in
@@ -42,6 +48,7 @@ from repro.core.evaluator import (
     MappingEvaluator,
 )
 from repro.core.formulation import Mapping
+from repro.core.ga.backends import ProcessPoolBackend
 from repro.core.ga.engine import GAResult
 from repro.core.ga.heuristics import Partition
 from repro.core.ga.level1 import Level1Search, SearchBudget
@@ -49,8 +56,9 @@ from repro.core.ga.level2 import SetSolution
 from repro.dnn.graph import ComputationGraph
 from repro.simulator.program import ExecutionProgram
 from repro.system.topology import SystemTopology
+from repro.utils.cache import LruCache
 from repro.utils.rng import make_rng
-from repro.utils.validation import require
+from repro.utils.validation import require, require_positive
 
 
 @dataclass
@@ -91,10 +99,25 @@ class SessionStats:
     searches: int
     #: Level-1 sub-problem solutions held in the cross-search cache.
     subproblem_solutions: int
+    #: Sub-problem cache lookups served warm (session-cumulative).
+    subproblem_hits: int
+    #: Sub-problem cache lookups that had to solve a level-2 GA.
+    subproblem_misses: int
+    #: Sub-problem solutions dropped by the cache's LRU bound.
+    subproblem_evictions: int
     #: Greedy shortlist choices memoized on the evaluator.
     greedy_entries: int
     #: The shared evaluator's layer-cost cache counters (session-cumulative).
     layer_cache: LayerCacheStats
+    #: Level-2 worker-pool executors spawned over the session's lifetime
+    #: (0 when ``workers`` <= 1; 1 for an unbroken pooled lifetime).
+    pool_spawns: int = 0
+    #: Pooled level-2 batches the pool broke mid-flight (each re-ran
+    #: serially; unpicklable-work fallbacks are not counted).
+    pool_failures: int = 0
+    #: Retired pool *backends* the session replaced (bounded by
+    #: :attr:`MarsSession.POOL_RESPAWN_LIMIT`).
+    pool_respawns: int = 0
 
 
 class MarsSession:
@@ -116,6 +139,16 @@ class MarsSession:
     system or cost-model configuration; mutating those objects
     in-place mid-session is not supported.
 
+    Resource lifetime: with ``workers > 1`` the session owns **one**
+    level-2 process pool for its whole lifetime — every search reuses
+    it instead of respawning an executor per search. Call
+    :meth:`close` (or use the session as a context manager) when done;
+    a session with no pool closes to a no-op. If the pool retires
+    itself after repeated failures (see
+    :class:`~repro.core.ga.backends.ProcessPoolBackend`), the session
+    replaces it up to :attr:`POOL_RESPAWN_LIMIT` times before settling
+    on serial evaluation — results are identical either way.
+
     Args:
         graph: The DNN workload.
         topology: The multi-accelerator system.
@@ -126,7 +159,20 @@ class MarsSession:
         workers: Override both levels' evaluation parallelism.
         cache: Override both levels' fitness memoization.
         layer_cache: Override :attr:`EvaluatorOptions.layer_cache`.
+        subproblem_capacity: LRU bound on the cross-search sub-problem
+            solution cache. Eviction never changes results — an evicted
+            sub-problem re-solves identically from its content-keyed
+            RNG — it only re-pays that solve's wall-clock.
     """
+
+    #: Times a session will replace a retired level-2 pool backend
+    #: before giving up on parallelism for its remaining lifetime.
+    POOL_RESPAWN_LIMIT = 2
+
+    #: Default LRU bound of the cross-search sub-problem cache —
+    #: comfortably above what any single workload poses, small enough
+    #: to bound a months-lived serving process.
+    DEFAULT_SUBPROBLEM_CAPACITY = 4096
 
     def __init__(
         self,
@@ -139,11 +185,13 @@ class MarsSession:
         workers: int | None = None,
         cache: bool | None = None,
         layer_cache: bool | None = None,
+        subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
     ) -> None:
         require(
             objective in ("latency", "throughput"),
             f"objective must be 'latency' or 'throughput', got {objective!r}",
         )
+        require_positive(subproblem_capacity, "subproblem_capacity")
         self.graph = graph
         self.topology = topology
         self.designs = designs if designs is not None else table2_designs()
@@ -158,11 +206,56 @@ class MarsSession:
         #: The one evaluator every search, baseline pricing and program
         #: emission of this session shares.
         self.evaluator = MappingEvaluator(graph, topology, options)
-        #: Cross-search level-1 sub-problem solutions.
-        self.solution_cache: dict[tuple, SetSolution] = {}
+        #: Cross-search level-1 sub-problem solutions (LRU-bounded).
+        self.solution_cache = LruCache(subproblem_capacity)
         self._partitions: list[Partition] | None = None
         self._design_profile: WorkloadProfile | None = None
         self._searches = 0
+        self._closed = False
+        #: The session-lifetime level-2 process pool (None when serial).
+        self._level2_pool: ProcessPoolBackend | None = (
+            ProcessPoolBackend(self.budget.level2.workers)
+            if self.budget.level2.workers > 1
+            else None
+        )
+        self._pool_respawns = 0
+        # Counters of pool backends already replaced, so stats stay
+        # cumulative across respawns.
+        self._retired_pool_spawns = 0
+        self._retired_pool_failures = 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def level2_pool(self) -> ProcessPoolBackend | None:
+        """The session-owned level-2 worker pool (None when serial)."""
+        return self._level2_pool
+
+    def _level2_backend(self) -> ProcessPoolBackend | None:
+        """The pool to hand the next search, applying the respawn policy.
+
+        A pool backend retires itself after ``failure_limit``
+        consecutive broken batches; rather than running serial forever,
+        the session replaces it with a fresh backend — at most
+        :attr:`POOL_RESPAWN_LIMIT` times, so a persistently broken
+        environment converges to the serial path instead of thrashing.
+        """
+        pool = self._level2_pool
+        if pool is None or not pool.retired:
+            return pool
+        if self._pool_respawns >= self.POOL_RESPAWN_LIMIT:
+            return pool  # retired: every batch takes the serial path
+        self._retired_pool_spawns += pool.pool_spawns
+        self._retired_pool_failures += pool.pool_failures
+        pool.close()
+        self._pool_respawns += 1
+        self._level2_pool = ProcessPoolBackend(
+            self.budget.level2.workers, failure_limit=pool.failure_limit
+        )
+        return self._level2_pool
 
     def search(self, seed: int = 0) -> MarsResult:
         """Run the two-level GA, reusing every warm cache of the session.
@@ -171,6 +264,7 @@ class MarsSession:
         with the same configuration and seed — warm state only cuts
         wall-clock.
         """
+        require(not self._closed, "session is closed")
         search = Level1Search(
             graph=self.graph,
             topology=self.topology,
@@ -180,6 +274,7 @@ class MarsSession:
             rng=make_rng(seed),
             objective=self.objective,
             solution_cache=self.solution_cache,
+            level2_backend=self._level2_backend(),
             partitions=self._partitions,
             design_profile=self._design_profile,
         )
@@ -203,11 +298,23 @@ class MarsSession:
     @property
     def stats(self) -> SessionStats:
         """Current warm-state counters of the session."""
+        pool = self._level2_pool
+        pool_spawns = self._retired_pool_spawns
+        pool_failures = self._retired_pool_failures
+        if pool is not None:
+            pool_spawns += pool.pool_spawns
+            pool_failures += pool.pool_failures
         return SessionStats(
             searches=self._searches,
             subproblem_solutions=len(self.solution_cache),
+            subproblem_hits=self.solution_cache.hits,
+            subproblem_misses=self.solution_cache.misses,
+            subproblem_evictions=self.solution_cache.evictions,
             greedy_entries=self.evaluator.greedy_cache_entries,
             layer_cache=self.evaluator.layer_cache_stats,
+            pool_spawns=pool_spawns,
+            pool_failures=pool_failures,
+            pool_respawns=self._pool_respawns,
         )
 
     def clear(self) -> None:
@@ -219,3 +326,22 @@ class MarsSession:
         self.evaluator.clear_greedy_cache()
         self._partitions = None
         self._design_profile = None
+
+    def close(self) -> None:
+        """Shut down the session's worker pool and mark it closed.
+
+        Idempotent. Warm caches survive (they hold no OS resources) but
+        :meth:`search` refuses to run on a closed session — a serving
+        registry must never route requests to a tenant it evicted.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._level2_pool is not None:
+            self._level2_pool.close()
+
+    def __enter__(self) -> "MarsSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -8,7 +8,11 @@ Each module maps to one row of DESIGN.md's experiment index:
 * :mod:`repro.experiments.patterns` — E7, Section VI-B mapping patterns.
 """
 
-from repro.experiments.patterns import MappingPatterns, analyze_mapping
+from repro.experiments.patterns import (
+    MappingPatterns,
+    analyze_mapping,
+    per_workload_patterns,
+)
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.table3 import Table3Result, Table3Row, run_table3
 from repro.experiments.table4 import Table4Cell, Table4Result, run_table4
@@ -21,6 +25,7 @@ __all__ = [
     "Table4Cell",
     "Table4Result",
     "analyze_mapping",
+    "per_workload_patterns",
     "run_table2",
     "run_table3",
     "run_table4",

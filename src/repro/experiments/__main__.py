@@ -12,9 +12,14 @@ Usage::
 fan-out and fitness memoization) and ``--no-layer-cache`` disables the
 evaluator's per-layer cost cache; all three change wall-clock only — for
 a fixed seed every configuration reproduces the same tables.
-``--seeds N`` sweeps N GA seeds per Table III model through one warm
-:class:`~repro.core.session.MarsSession` and keeps the best mapping
-(per-seed results stay bit-identical to fresh single-seed runs).
+``--seeds N`` sweeps N GA seeds per Table III model through that
+model's warm session and keeps the best mapping (per-seed results stay
+bit-identical to fresh single-seed runs). Table III routes every model
+through one multi-tenant
+:class:`~repro.core.serving.MultiModelSession`; ``--session-capacity``
+bounds how many tenant sessions stay warm at once (smaller capacities
+evict and rebuild without changing the table) and ``--combined`` adds
+the Herald-style merged multi-DNN row.
 """
 
 from __future__ import annotations
@@ -76,6 +81,20 @@ def main(argv: list[str] | None = None) -> int:
         "model through one warm search session and keep the best mapping",
     )
     parser.add_argument(
+        "--session-capacity",
+        type=int,
+        default=None,
+        help="table3: cap the number of warm per-model sessions in the "
+        "serving registry (default: one per requested row; smaller "
+        "values evict+rebuild tenants, results unchanged)",
+    )
+    parser.add_argument(
+        "--combined",
+        action="store_true",
+        help="table3: append a merged multi-DNN row (all requested "
+        "models combined into one graph, Herald-style)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -99,6 +118,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seeds must be >= 1")
     if args.seeds > 1 and args.experiment != "table3":
         parser.error("--seeds currently applies to table3 only")
+    if args.session_capacity is not None:
+        if args.experiment != "table3":
+            parser.error("--session-capacity applies to table3 only")
+        if args.session_capacity < 1:
+            parser.error("--session-capacity must be >= 1")
+    if args.combined and args.experiment != "table3":
+        parser.error("--combined applies to table3 only")
     if args.no_layer_cache and args.experiment == "table2":
         # table2 profiles designs without any mapping search; there is
         # no evaluator whose cache the flag could disable.
@@ -120,12 +146,16 @@ def main(argv: list[str] | None = None) -> int:
                 backend.close()
     elif args.experiment == "table3":
         models = tuple(args.models) if args.models else TABLE3_MODELS
+        if args.combined and len(models) < 2:
+            parser.error("--combined needs at least two models")
         result = run_table3(
             models=models,
             budget=budget,
             seed=args.seed,
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
             options=EvaluatorOptions(layer_cache=layer_cache),
+            session_capacity=args.session_capacity,
+            combined=args.combined,
         )
         print(result.to_text())
         summary = _layer_cache_summary(
@@ -133,6 +163,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         if summary:
             print(summary)
+        if result.serving is not None:
+            serving = result.serving
+            print(
+                f"serving registry: {serving.tenants} live tenants "
+                f"(capacity {serving.capacity}), {serving.hits} hits / "
+                f"{serving.misses} misses, {serving.evictions} evictions, "
+                f"{serving.searches} searches"
+            )
     else:
         models = tuple(args.models) if args.models else TABLE4_MODELS
         result = run_table4(

@@ -9,7 +9,11 @@ The paper reads three patterns out of Table III's mappings:
    models (ResNet-101, WRN-50-2).
 
 :func:`analyze_mapping` extracts the measurable form of these claims
-from any mapping so tests and reports can check them.
+from any mapping so tests and reports can check them;
+:func:`per_workload_patterns` does the same per source network of a
+merged multi-DNN mapping (the Herald setting of
+:mod:`repro.dnn.multi`), where each tenant's pattern evidence must be
+read from its own contiguous slice of the combined graph.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.formulation import Mapping
+from repro.dnn.graph import LayerNode
 from repro.dnn.layers import LoopDim
 
 SPATIAL_DIMS = {LoopDim.H, LoopDim.W}
@@ -50,9 +55,20 @@ def _partitioned_dims(mapping: Mapping, node_name: str) -> set[LoopDim]:
     return dims
 
 
-def analyze_mapping(mapping: Mapping) -> MappingPatterns:
-    """Extract the Section VI-B pattern evidence from a mapping."""
-    convs = [n for n in mapping.graph.compute_nodes() if n.kind == "conv2d"]
+def analyze_mapping(
+    mapping: Mapping, convs: list[LayerNode] | None = None
+) -> MappingPatterns:
+    """Extract the Section VI-B pattern evidence from a mapping.
+
+    ``convs`` restricts the analysis to a subset of the mapping's
+    convolution layers (in graph order) — used by
+    :func:`per_workload_patterns` to read one network's evidence out of
+    a merged multi-DNN mapping. The default analyzes every convolution.
+    """
+    if convs is None:
+        convs = [
+            n for n in mapping.graph.compute_nodes() if n.kind == "conv2d"
+        ]
     if not convs:
         raise ValueError("mapping has no convolution layers to analyze")
     order = mapping.graph.topological_order()
@@ -94,3 +110,28 @@ def analyze_mapping(mapping: Mapping) -> MappingPatterns:
         early_spatial_fraction=fraction(early, SPATIAL_DIMS),
         late_channel_fraction=fraction(late, CHANNEL_DIMS),
     )
+
+
+def per_workload_patterns(
+    mapping: Mapping, workload_names: list[str]
+) -> dict[str, MappingPatterns]:
+    """Section VI-B evidence per source network of a multi-DNN mapping.
+
+    ``mapping.graph`` must be a :func:`repro.dnn.multi.combine_graphs`
+    merge whose node names carry the ``workload/`` prefix; each
+    workload's evidence (first-set design, early-spatial / late-channel
+    fractions) is computed over that workload's own convolutions, so
+    one tenant's depth profile cannot dilute another's.
+    """
+    from repro.dnn.multi import per_workload_ranges
+
+    per_workload_ranges(mapping.graph, workload_names)  # validates prefixes
+    patterns: dict[str, MappingPatterns] = {}
+    for workload in workload_names:
+        convs = [
+            n
+            for n in mapping.graph.compute_nodes()
+            if n.kind == "conv2d" and n.name.startswith(f"{workload}/")
+        ]
+        patterns[workload] = analyze_mapping(mapping, convs)
+    return patterns

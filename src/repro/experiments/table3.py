@@ -3,6 +3,13 @@
 For each model: the workload statistics, the Section VI-A baseline
 latency, the MARS latency, the reduction, and the mapping MARS found
 (Table III's right-hand column).
+
+All models route through one multi-tenant
+:class:`~repro.core.serving.MultiModelSession` registry (one warm
+session per model; per-model results are bit-identical to fresh
+single-model runs). ``combined=True`` appends the Herald-style
+multi-DNN row: every requested model merged into one graph via
+:func:`repro.dnn.multi.combine_graphs` and mapped as a single tenant.
 """
 
 from __future__ import annotations
@@ -14,9 +21,10 @@ from repro.core.baselines import computation_prioritized_mapping
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga import SearchBudget
 from repro.core.mapper import MarsResult
-from repro.core.session import MarsSession
+from repro.core.serving import MultiModelSession, ServingStats
 from repro.dnn import build_model
 from repro.dnn.models import TABLE3_MODELS
+from repro.dnn.multi import combine_graphs
 from repro.system import f1_16xlarge
 from repro.system.topology import SystemTopology
 from repro.utils.tables import format_table
@@ -43,6 +51,8 @@ class Table3Row:
 class Table3Result:
     rows: list[Table3Row] = field(default_factory=list)
     mars_results: dict[str, MarsResult] = field(default_factory=dict)
+    #: Registry counters of the serving layer the rows ran through.
+    serving: ServingStats | None = None
 
     @property
     def mean_reduction_pct(self) -> float:
@@ -89,14 +99,24 @@ def run_table3(
     options: EvaluatorOptions | None = None,
     seed: int = 0,
     seeds: tuple[int, ...] | None = None,
+    session_capacity: int | None = None,
+    combined: bool = False,
 ) -> Table3Result:
     """Reproduce Table III (or a subset of its rows).
 
-    ``seeds`` sweeps several GA seeds per model through one warm
-    :class:`~repro.core.session.MarsSession` (cross-search caches make
-    the extra seeds cheap) and keeps each model's best mapping; the
-    default ``(seed,)`` is the paper's single-seed run. Per-seed
-    results are bit-identical to fresh single-seed searches.
+    ``seeds`` sweeps several GA seeds per model through that model's
+    warm session (cross-search caches make the extra seeds cheap) and
+    keeps each model's best mapping; the default ``(seed,)`` is the
+    paper's single-seed run. Per-seed results are bit-identical to
+    fresh single-seed searches.
+
+    All per-model sessions live in one
+    :class:`~repro.core.serving.MultiModelSession` registry.
+    ``session_capacity`` bounds how many stay warm at once (default:
+    every requested row) — a smaller capacity evicts and rebuilds
+    tenants without changing any number in the table. ``combined``
+    (needs >= 2 models) appends a Herald-style row mapping all models
+    merged into one graph as a single extra tenant.
     """
     topology = topology or f1_16xlarge()
     budget = budget or SearchBudget.fast()
@@ -104,28 +124,41 @@ def run_table3(
     designs = table2_designs()
     seeds = seeds if seeds is not None else (seed,)
 
+    graphs = [build_model(name) for name in models]
+    if combined:
+        if len(graphs) < 2:
+            raise ValueError("combined needs at least two models")
+        graphs.append(combine_graphs(graphs[: len(models)]))
+
     result = Table3Result()
-    for name in models:
-        graph = build_model(name)
-        stats = graph.stats()
-        baseline = computation_prioritized_mapping(
-            graph, topology, designs, options
-        )
-        session = MarsSession(
-            graph, topology, designs=designs, budget=budget, options=options
-        )
-        sweep = [session.search(seed=s) for s in seeds]
-        mars = min(sweep, key=lambda r: r.evaluation.latency_seconds)
-        result.mars_results[name] = mars
-        result.rows.append(
-            Table3Row(
-                model=name,
-                num_convs=stats.num_convs,
-                params_m=stats.params_m,
-                flops_g=stats.flops_g,
-                baseline_ms=baseline.latency_ms,
-                mars_ms=mars.latency_ms,
-                mapping_found=mars.describe(),
+    capacity = (
+        session_capacity if session_capacity is not None else len(graphs)
+    )
+    with MultiModelSession(
+        topology,
+        designs=designs,
+        budget=budget,
+        options=options,
+        capacity=capacity,
+    ) as registry:
+        for graph in graphs:
+            stats = graph.stats()
+            baseline = computation_prioritized_mapping(
+                graph, topology, designs, options
             )
-        )
+            sweep = [registry.search(graph, seed=s) for s in seeds]
+            mars = min(sweep, key=lambda r: r.evaluation.latency_seconds)
+            result.mars_results[graph.name] = mars
+            result.rows.append(
+                Table3Row(
+                    model=graph.name,
+                    num_convs=stats.num_convs,
+                    params_m=stats.params_m,
+                    flops_g=stats.flops_g,
+                    baseline_ms=baseline.latency_ms,
+                    mars_ms=mars.latency_ms,
+                    mapping_found=mars.describe(),
+                )
+            )
+        result.serving = registry.stats()
     return result

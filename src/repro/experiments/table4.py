@@ -87,9 +87,13 @@ def run_table4(
         result.cells[label] = {}
         for name in models:
             h2h = h2h_mapping(graphs[name], system, options=options)
-            mars = Mars(
+            # The context manager shuts the facade's session down (its
+            # worker pool, when the budget sets workers > 1) before the
+            # next (bandwidth, model) cell builds a fresh one.
+            with Mars(
                 graphs[name], system, budget=budget, options=options
-            ).search(seed=seed)
+            ) as mapper:
+                mars = mapper.search(seed=seed)
             result.cells[label][name] = Table4Cell(
                 h2h_ms=h2h.latency_ms, mars_ms=mars.latency_ms
             )

@@ -1,0 +1,47 @@
+"""Identity-semantics wrapper that pins its referent alive.
+
+Keying caches on ``id(obj)`` is a latent aliasing bug: CPython recycles
+ids, so once ``obj`` is garbage-collected a *different* object can be
+allocated at the same address and silently match the stale key. The
+session registry and the ``Mars`` facade key warm state on workload and
+topology objects, where such aliasing would return mappings for the
+wrong workload.
+
+:class:`IdentityRef` closes that hole by construction. It compares and
+hashes by object *identity* (never by value, so mutating the referent
+cannot corrupt a key) while holding a **strong reference** to the
+referent — as long as the wrapper is reachable, the referent cannot be
+collected and its id cannot be recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class IdentityRef:
+    """Hashable identity key for an object, pinning it alive.
+
+    Two refs are equal iff they wrap the *same* object. The hash is the
+    referent's ``id``, which is stable exactly because the wrapper keeps
+    the referent alive.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: Any) -> None:
+        self.obj = obj
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IdentityRef) and self.obj is other.obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __repr__(self) -> str:
+        name = getattr(self.obj, "name", None)
+        label = f" {name!r}" if isinstance(name, str) else ""
+        return (
+            f"IdentityRef({type(self.obj).__name__}{label}"
+            f" @ 0x{id(self.obj):x})"
+        )

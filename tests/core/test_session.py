@@ -130,6 +130,34 @@ class TestSessionState:
         with pytest.raises(ValueError):
             MarsSession(GRAPH, TOPOLOGY, objective="power")
 
+    def test_subproblem_counters_surface_in_stats(self):
+        session = MarsSession(GRAPH, TOPOLOGY)
+        session.search(seed=0)
+        first = session.stats
+        assert first.subproblem_misses > 0
+        assert first.subproblem_evictions == 0
+        session.search(seed=0)
+        second = session.stats
+        # A same-seed re-search poses only known sub-problems.
+        assert second.subproblem_misses == first.subproblem_misses
+        assert second.subproblem_hits > first.subproblem_hits
+
+    def test_tiny_subproblem_capacity_evicts_without_changing_results(self):
+        """The LRU bound is purely a memory/wall-clock trade: an evicted
+        sub-problem re-solves identically from its content-keyed RNG."""
+        bounded = MarsSession(GRAPH, TOPOLOGY, subproblem_capacity=2)
+        sweep = [bounded.search(seed=s) for s in SEEDS]
+        stats = bounded.stats
+        assert stats.subproblem_solutions <= 2
+        assert stats.subproblem_evictions > 0
+        fresh = [MarsSession(GRAPH, TOPOLOGY).search(seed=s) for s in SEEDS]
+        for a, b in zip(sweep, fresh):
+            _same_result(a, b)
+
+    def test_invalid_subproblem_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MarsSession(GRAPH, TOPOLOGY, subproblem_capacity=0)
+
 
 class TestMarsFacadeSession:
     def test_facade_reuses_one_session_and_evaluator(self):
@@ -158,3 +186,60 @@ class TestMarsFacadeSession:
         assert program.analytical_seconds() == pytest.approx(
             result.evaluation.latency_seconds, rel=1e-9
         )
+
+
+class TestConfigKeyAliasing:
+    """Regression: the facade's session key must never alias through a
+    recycled ``id()``.
+
+    The old key held ``id(self.graph)``/``id(self.topology)`` as bare
+    ints; once the original graph was garbage-collected, CPython could
+    hand its address to a *new* graph, silently matching the stale key
+    and serving the stale session's warm caches — a mapping for the
+    wrong workload. The key now holds ``IdentityRef`` wrappers: identity
+    comparison plus a strong reference that pins the original object
+    (and hence its id) for as long as the key is retained.
+    """
+
+    def test_config_key_pins_graph_and_topology(self):
+        import weakref
+
+        mars = Mars(build_model("tiny_cnn"), TOPOLOGY)
+        mars.search(seed=0)
+        watcher = weakref.ref(mars.graph)
+        key = mars._session_config
+        assert key[0].obj is mars.graph
+        assert key[1].obj is TOPOLOGY
+        # Even with the facade's own field reassigned, the retained key
+        # keeps the old graph alive — its id cannot be recycled.
+        mars.graph = build_model("tiny_cnn")
+        import gc
+
+        gc.collect()
+        assert watcher() is not None
+        assert mars._session_config[0].obj is watcher()
+
+    def test_reassigning_graph_after_gc_rebuilds_the_session(self):
+        """Repeatedly free the old graph before reassigning: with an
+        id-based key this intermittently aliased (the fresh graph could
+        land on the dead one's address); identity refs must rebuild the
+        session every single time."""
+        import gc
+
+        mars = Mars(build_model("tiny_cnn"), TOPOLOGY)
+        mars.search(seed=0)
+        for _ in range(5):
+            previous = mars.session()
+            # Under the old int key the reassigned-away graph became
+            # unreachable here; the fixed key pins it instead.
+            mars.graph = build_model("tiny_cnn")
+            gc.collect()
+            assert mars.session() is not previous
+            assert mars.session().graph is mars.graph
+
+    def test_equal_but_distinct_topology_rebuilds_the_session(self):
+        mars = Mars(GRAPH, TOPOLOGY)
+        mars.search(seed=0)
+        before = mars.session()
+        mars.topology = f1_16xlarge()  # equal content, distinct object
+        assert mars.session() is not before

@@ -43,3 +43,39 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table III" in out
         assert "layer-cost cache:" not in out
+
+    def test_table3_reports_serving_registry(self, capsys):
+        assert main(["table3", "--models", "tiny_cnn"]) == 0
+        out = capsys.readouterr().out
+        assert "serving registry:" in out
+
+    def test_table3_combined_adds_merged_row(self, capsys):
+        assert (
+            main(
+                [
+                    "table3",
+                    "--models",
+                    "tiny_cnn",
+                    "tiny_resnet",
+                    "--combined",
+                    "--session-capacity",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tiny_cnn+tiny_resnet" in out
+        assert "evictions" in out
+
+    def test_combined_needs_two_models(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--models", "tiny_cnn", "--combined"])
+
+    def test_session_capacity_rejected_outside_table3(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "--session-capacity", "2"])
+
+    def test_session_capacity_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--models", "tiny_cnn", "--session-capacity", "0"])

@@ -86,3 +86,61 @@ class TestMappingPatterns:
         assert patterns.designs_used
         assert 0.0 <= patterns.early_spatial_fraction <= 1.0
         assert 0.0 <= patterns.late_channel_fraction <= 1.0
+
+
+class TestPerWorkloadPatterns:
+    """Pattern evidence per source network of a merged multi-DNN mapping."""
+
+    @pytest.fixture(scope="class")
+    def merged_result(self):
+        from repro.dnn.multi import combine_graphs
+
+        merged = combine_graphs(
+            [build_model("tiny_cnn"), build_model("tiny_resnet")]
+        )
+        result = Mars(merged, f1_16xlarge(), budget=BUDGET).search(seed=0)
+        return merged, result
+
+    def test_one_evidence_block_per_workload(self, merged_result):
+        from repro.experiments import per_workload_patterns
+
+        _, result = merged_result
+        patterns = per_workload_patterns(
+            result.mapping, ["tiny_cnn", "tiny_resnet"]
+        )
+        assert set(patterns) == {"tiny_cnn", "tiny_resnet"}
+        for evidence in patterns.values():
+            assert evidence.first_set_design is not None
+            assert 0.0 <= evidence.early_spatial_fraction <= 1.0
+            assert 0.0 <= evidence.late_channel_fraction <= 1.0
+
+    def test_restricted_analysis_uses_only_that_workloads_convs(
+        self, merged_result
+    ):
+        """A workload's first-set design must come from ITS first conv,
+        not the merged graph's global first conv."""
+        from repro.experiments import per_workload_patterns
+
+        merged, result = merged_result
+        patterns = per_workload_patterns(result.mapping, ["tiny_resnet"])
+        first_resnet_conv = next(
+            n
+            for n in merged.compute_nodes()
+            if n.kind == "conv2d" and n.name.startswith("tiny_resnet/")
+        )
+        order = merged.topological_order()
+        assignment = result.mapping.assignment_of(
+            order.index(first_resnet_conv.name)
+        )
+        expected = (
+            assignment.design.name if assignment.design is not None else None
+        )
+        if expected is not None:
+            assert patterns["tiny_resnet"].first_set_design == expected
+
+    def test_unknown_workload_rejected(self, merged_result):
+        from repro.experiments import per_workload_patterns
+
+        _, result = merged_result
+        with pytest.raises(ValueError):
+            per_workload_patterns(result.mapping, ["vgg16"])

@@ -1,0 +1,56 @@
+"""IdentityRef: identity semantics plus a strong pin on the referent."""
+
+import gc
+import weakref
+
+from repro.utils import IdentityRef
+
+
+class Thing:
+    def __init__(self, name="thing"):
+        self.name = name
+
+
+class TestIdentitySemantics:
+    def test_equal_only_for_the_same_object(self):
+        a, b = Thing(), Thing()
+        assert IdentityRef(a) == IdentityRef(a)
+        assert IdentityRef(a) != IdentityRef(b)
+
+    def test_value_equal_objects_stay_distinct(self):
+        """The whole point: equal contents must NOT alias."""
+        a, b = [1, 2, 3], [1, 2, 3]
+        assert a == b
+        assert IdentityRef(a) != IdentityRef(b)
+
+    def test_never_equal_to_the_bare_object_or_its_id(self):
+        obj = Thing()
+        assert IdentityRef(obj) != obj
+        assert IdentityRef(obj) != id(obj)
+
+    def test_usable_as_dict_key(self):
+        a, b = Thing(), Thing()
+        table = {IdentityRef(a): "a", IdentityRef(b): "b"}
+        assert table[IdentityRef(a)] == "a"
+        assert table[IdentityRef(b)] == "b"
+        assert IdentityRef(Thing()) not in table
+
+    def test_repr_names_the_referent(self):
+        text = repr(IdentityRef(Thing("tiny_cnn")))
+        assert "Thing" in text
+        assert "tiny_cnn" in text
+
+
+class TestStrongReference:
+    def test_referent_cannot_be_collected_while_ref_lives(self):
+        obj = Thing()
+        watcher = weakref.ref(obj)
+        ref = IdentityRef(obj)
+        del obj
+        gc.collect()
+        # Pinned: the id behind hash() cannot be recycled.
+        assert watcher() is not None
+        assert ref.obj is watcher()
+        del ref
+        gc.collect()
+        assert watcher() is None
