@@ -38,6 +38,12 @@ def bench_workers() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
+def bench_shards() -> int:
+    """Shard worker processes for the sharded-serving bench
+    (``REPRO_BENCH_SHARDS``, default 2)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SHARDS", "2")))
+
+
 def budget_name() -> str:
     """The selected search-budget name (``fast`` or ``paper``)."""
     if os.environ.get("REPRO_BENCH_BUDGET", "fast").lower() == "paper":

@@ -13,6 +13,7 @@ the entry point; the submodules expose each piece for direct use:
 * :mod:`repro.core.baselines` — comparison mappers.
 """
 
+from repro.core.config import SearchConfig
 from repro.core.evaluator import (
     EvaluatorOptions,
     LayerCacheStats,
@@ -26,7 +27,12 @@ from repro.core.formulation import (
     SetAssignment,
 )
 from repro.core.mapper import Mars, MarsResult
-from repro.core.serving import MultiModelSession, ServingStats
+from repro.core.serving import (
+    MultiModelSession,
+    ServingStats,
+    ShardedServing,
+    ShardedServingStats,
+)
 from repro.core.session import MarsSession, SessionStats
 from repro.core.sharding import (
     NO_PARALLELISM,
@@ -55,7 +61,10 @@ __all__ = [
     "MarsSession",
     "MultiModelSession",
     "NO_PARALLELISM",
+    "SearchConfig",
     "ServingStats",
+    "ShardedServing",
+    "ShardedServingStats",
     "ParallelismStrategy",
     "SessionStats",
     "SetAssignment",

@@ -130,6 +130,21 @@ class LayerCacheStats:
             evictions=self.evictions - earlier.evictions,
         )
 
+    def merge(self, other: "LayerCacheStats") -> "LayerCacheStats":
+        """Counters of two caches folded together (all fields summed).
+
+        Used when aggregating history across sessions — e.g. a serving
+        registry folding a retired tenant's counters into its running
+        total; ``entries`` sums the two gauges, which for retired
+        sessions reads as "entries held at close time".
+        """
+        return LayerCacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            entries=self.entries + other.entries,
+            evictions=self.evictions + other.evictions,
+        )
+
 
 @dataclass
 class LayerCost:

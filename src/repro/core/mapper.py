@@ -16,10 +16,11 @@ Warm state never changes results — only wall-clock (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
+from repro.core.config import DEFAULT_SUBPROBLEM_CAPACITY, SearchConfig
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga.level1 import SearchBudget
 from repro.core.session import MarsResult, MarsSession
@@ -28,7 +29,7 @@ from repro.simulator.program import ExecutionProgram
 from repro.system.topology import SystemTopology
 from repro.utils.identity import IdentityRef
 
-__all__ = ["Mars", "MarsResult", "MarsSession"]
+__all__ = ["Mars", "MarsResult", "MarsSession", "SearchConfig"]
 
 
 @dataclass
@@ -53,6 +54,9 @@ class Mars:
             ``None`` keeps ``options`` as given. Like the backends, the
             layer cache is bit-identical on or off — only wall-clock
             changes. Counters land on ``MarsResult.layer_cache``.
+        subproblem_capacity: LRU bound on the internal session's
+            cross-search sub-problem cache (results-invisible, like
+            every cache here).
     """
 
     graph: ComputationGraph
@@ -64,6 +68,7 @@ class Mars:
     workers: int | None = None
     cache: bool | None = None
     layer_cache: bool | None = None
+    subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY
     _session: MarsSession | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -71,10 +76,45 @@ class Mars:
         default=None, init=False, repr=False, compare=False
     )
 
-    def _options(self) -> EvaluatorOptions:
-        if self.layer_cache is None:
-            return self.options
-        return replace(self.options, layer_cache=self.layer_cache)
+    @classmethod
+    def from_config(
+        cls,
+        graph: ComputationGraph,
+        topology: SystemTopology,
+        config: SearchConfig,
+    ) -> "Mars":
+        """Build a facade from a canonical config bundle.
+
+        The dataclass constructor is a thin adapter over the same
+        bundle (see :meth:`config`); both spellings produce
+        bit-identical searches for equivalent inputs.
+        ``config.capacity`` — a serving-registry bound — has no meaning
+        for a single-workload facade and is not carried.
+        """
+        config = config.canonical()
+        return cls(
+            graph=graph,
+            topology=topology,
+            designs=list(config.designs),
+            budget=config.budget,
+            options=config.options,
+            objective=config.objective,
+            subproblem_capacity=config.subproblem_capacity,
+        )
+
+    def config(self) -> SearchConfig:
+        """The facade's loose fields as one canonical
+        :class:`~repro.core.config.SearchConfig` bundle."""
+        return SearchConfig.from_kwargs(
+            designs=self.designs,
+            budget=self.budget,
+            options=self.options,
+            objective=self.objective,
+            workers=self.workers,
+            cache=self.cache,
+            layer_cache=self.layer_cache,
+            subproblem_capacity=self.subproblem_capacity,
+        ).canonical()
 
     def _config_key(self) -> tuple:
         """Snapshot of everything the internal session was built from.
@@ -87,17 +127,13 @@ class Mars:
         session's warm caches (a mapping for the wrong workload). The
         wrapper pins the original object alive for as long as the key
         is retained, making recycling impossible by construction.
+        The rest of the configuration compares by canonical value: two
+        spellings of the same effective configuration share a session.
         """
         return (
             IdentityRef(self.graph),
             IdentityRef(self.topology),
-            tuple(self.designs),
-            self.budget,
-            self.options,
-            self.objective,
-            self.workers,
-            self.cache,
-            self.layer_cache,
+            self.config(),
         )
 
     def session(self) -> MarsSession:
@@ -112,15 +148,8 @@ class Mars:
         if self._session is None or self._session_config != key:
             if self._session is not None:
                 self._session.close()
-            self._session = MarsSession(
-                graph=self.graph,
-                topology=self.topology,
-                designs=self.designs,
-                budget=self.budget,
-                options=self._options(),
-                objective=self.objective,
-                workers=self.workers,
-                cache=self.cache,
+            self._session = MarsSession.from_config(
+                self.graph, self.topology, key[2]
             )
             self._session_config = key
         return self._session

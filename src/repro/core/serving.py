@@ -1,4 +1,4 @@
-"""Multi-tenant serving: one mapper process, many models.
+"""Multi-tenant serving: warm mapping sessions behind one endpoint.
 
 A :class:`~repro.core.session.MarsSession` keeps one workload's search
 state warm. A serving deployment (the Herald / MAGMA multi-DNN setting
@@ -8,21 +8,28 @@ multi-DNN graphs from :func:`repro.dnn.multi.combine_graphs` — and
 rebuilding a session per request would throw the warm caches away
 exactly when they pay off.
 
-:class:`MultiModelSession` is the registry that closes that gap: it
-routes each request to its tenant's warm session, building sessions
-lazily and evicting least-recently-used tenants beyond a configurable
-``capacity`` (an evicted tenant's session is closed — its worker pool
-shuts down — and a later request simply rebuilds it cold). Tenants are
-keyed by workload/topology object *identity* (through strong-referenced
-:class:`~repro.utils.identity.IdentityRef` keys, so a recycled ``id``
-can never alias two workloads) plus the search objective; the design
-catalog, budgets and cost-model options are fixed per registry, exactly
-like one session's configuration.
+Two frontends close that gap:
 
-Routing never changes results: every tenant search is bit-identical to
-a fresh :class:`~repro.core.mapper.Mars` run with the same
-configuration and seed (property-tested in
-``tests/core/test_serving.py``).
+* :class:`MultiModelSession` — the in-process registry: it routes each
+  request to its tenant's warm session, building sessions lazily and
+  evicting least-recently-used tenants beyond a configurable
+  ``capacity``. Tenants are **content-addressed**: the key is
+  ``(graph.fingerprint(), topology.fingerprint(), objective)``, so two
+  structurally identical workloads share one warm tenant — and, unlike
+  the object-identity keys this registry used previously, the key
+  survives a pickle round-trip across a process boundary.
+* :class:`ShardedServing` — the multi-process frontend: N shard worker
+  processes, each hosting one ``MultiModelSession`` rebuilt from the
+  same shipped :class:`~repro.core.config.SearchConfig`. Tenants are
+  placed by fingerprint hash (sticky, so a tenant's warm caches live on
+  exactly one shard) and searches on different shards run truly
+  concurrently.
+
+Routing never changes results: every tenant search — in-process,
+sharded, or re-run after a shard crash — is bit-identical to a fresh
+:class:`~repro.core.mapper.Mars` run with the same configuration and
+seed (property-tested in ``tests/core/test_serving.py`` and
+``tests/core/test_sharded.py``).
 
 >>> from repro.core.serving import MultiModelSession
 >>> from repro.dnn import build_model
@@ -36,19 +43,66 @@ configuration and seed (property-tested in
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
+# Imported for its side effect: ``multiprocessing.util`` registers the
+# atexit hook that joins non-daemonic children. It must be registered
+# BEFORE this module's own atexit hook (atexit is LIFO), or abandoned
+# shard workers would be joined before anything asks them to exit.
+import multiprocessing.util  # noqa: F401
+import queue
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from functools import cached_property
 
 from repro.accelerators.base import AcceleratorDesign
+from repro.core.config import (
+    DEFAULT_CAPACITY,
+    DEFAULT_SUBPROBLEM_CAPACITY,
+    SearchConfig,
+)
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga.level1 import SearchBudget
 from repro.core.session import MarsResult, MarsSession, SessionStats
 from repro.dnn.graph import ComputationGraph
 from repro.system.topology import SystemTopology
-from repro.utils.identity import IdentityRef
+from repro.utils.rng import stable_seed
 from repro.utils.validation import require, require_positive
 
-__all__ = ["MultiModelSession", "ServingStats"]
+__all__ = [
+    "MultiModelSession",
+    "ServingStats",
+    "ShardedServing",
+    "ShardedServingStats",
+]
+
+
+def _add_tenant_label(
+    per_tenant: dict[str, SessionStats],
+    base: str,
+    stats: SessionStats,
+    renumber: bool = False,
+) -> None:
+    """Insert ``stats`` under ``base``, ``@n``-suffixing on collision.
+
+    ``renumber=True`` is for cross-registry aggregation, where ``base``
+    may itself be an ``@n``-suffixed label from another shard: the
+    suffix is stripped first so labels renumber from the root instead
+    of stacking into ambiguous ``foo@2@2``. Registry-local callers
+    keep ``renumber=False`` — there ``base`` is a real graph name, and
+    a graph genuinely named ``foo@2`` must not be relabeled ``foo``.
+    """
+    if renumber:
+        root, _, suffix = base.rpartition("@")
+        if root and suffix.isdigit():
+            base = root
+    label, counter = base, 2
+    while label in per_tenant:
+        label = f"{base}@{counter}"
+        counter += 1
+    per_tenant[label] = stats
 
 
 @dataclass(frozen=True)
@@ -72,8 +126,13 @@ class ServingStats:
     searches: int
     #: Per-tenant warm-state counters, keyed by tenant label (graph
     #: name, ``:objective``-suffixed for non-default objectives and
-    #: ``@n``-suffixed when distinct graph objects share a name).
+    #: ``@n``-suffixed when distinct graph contents share a name).
     per_tenant: dict[str, SessionStats]
+    #: Cumulative counters of every tenant session this registry has
+    #: retired — capacity evictions, explicit ``evict()`` calls and
+    #: ``close()`` all fold the departing session's ``SessionStats``
+    #: here, so hit-rate history survives the sessions themselves.
+    retired: SessionStats
 
     @property
     def lookups(self) -> int:
@@ -84,24 +143,79 @@ class ServingStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    @property
+    def lifetime(self) -> SessionStats:
+        """Live and retired tenant counters folded together — the
+        registry's whole history, robust to eviction churn."""
+        total = self.retired
+        for stats in self.per_tenant.values():
+            total = total.merge(stats)
+        return total
+
+    def merge(self, other: "ServingStats") -> "ServingStats":
+        """Two registries' counters folded together (shard aggregation).
+
+        ``capacity`` sums (it bounds the union of the two tenant
+        populations); per-tenant labels colliding across registries are
+        ``@n``-deduplicated like same-named tenants within one.
+        """
+        per_tenant = dict(self.per_tenant)
+        for base, stats in other.per_tenant.items():
+            _add_tenant_label(per_tenant, base, stats, renumber=True)
+        return ServingStats(
+            capacity=self.capacity + other.capacity,
+            tenants=self.tenants + other.tenants,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            searches=self.searches + other.searches,
+            per_tenant=per_tenant,
+            retired=self.retired.merge(other.retired),
+        )
+
+
+@dataclass
+class _Tenant:
+    """A live tenant: the representative graph plus its warm session."""
+
+    graph: ComputationGraph
+    session: MarsSession
+
 
 class MultiModelSession:
     """An LRU registry of warm :class:`MarsSession`s, one per tenant.
 
     The registry fixes everything tenants share — the system topology,
-    design catalog, GA budgets, cost-model options and backend knobs —
-    and keys tenants on what varies per request: the workload graph
-    (by identity), an optional per-request topology override, and the
-    objective. :meth:`search` is the serving entry point;
-    :meth:`session_for` exposes the underlying session when a caller
-    needs the warm evaluator or per-tenant cache control.
+    design catalog, GA budgets, cost-model options and backend knobs
+    (one :class:`~repro.core.config.SearchConfig`) — and keys tenants
+    on what varies per request: the workload graph, an optional
+    per-request topology override, and the objective. :meth:`search` is
+    the serving entry point; :meth:`session_for` exposes the underlying
+    session when a caller needs the warm evaluator or per-tenant cache
+    control.
+
+    Tenant identity is **content-addressed**: graphs and topologies are
+    keyed by :meth:`~repro.dnn.graph.ComputationGraph.fingerprint` /
+    :meth:`~repro.system.topology.SystemTopology.fingerprint`, not
+    object identity. Structurally identical workloads therefore share
+    one warm tenant (an unpickled copy of a graph routes to the same
+    session as its original — the property the sharded frontend is
+    built on), and the session serves them bit-identically because the
+    fingerprint covers everything the search reads.
 
     Capacity and eviction: at most ``capacity`` sessions stay alive;
     building one beyond that closes the least-recently-*used* tenant
     (its worker pool shuts down, its warm caches are dropped). Eviction
     is invisible to results — a re-request rebuilds the tenant cold and
     searches bit-identically — it only trades memory for warm-up
-    wall-clock.
+    wall-clock. Departing tenants' counters fold into
+    :attr:`ServingStats.retired`, so long-lived deployments keep honest
+    hit-rate history across eviction churn.
+
+    Lifecycle: after :meth:`close`, routing and mutation
+    (:meth:`search`, :meth:`session_for`, :meth:`evict`) raise, while
+    read-only queries (``len``, ``in``, :meth:`stats`) honestly report
+    the empty, closed registry.
 
     Args:
         topology: Default system for every tenant (overridable per
@@ -118,9 +232,12 @@ class MultiModelSession:
         capacity: Maximum number of live tenant sessions.
         subproblem_capacity: Per-tenant LRU bound on the cross-search
             sub-problem cache.
+        config: A prebuilt :class:`~repro.core.config.SearchConfig`;
+            when given it supersedes every other keyword except
+            ``topology`` (prefer :meth:`from_config`).
     """
 
-    DEFAULT_CAPACITY = 8
+    DEFAULT_CAPACITY = DEFAULT_CAPACITY
 
     def __init__(
         self,
@@ -133,25 +250,45 @@ class MultiModelSession:
         cache: bool | None = None,
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
-        subproblem_capacity: int = MarsSession.DEFAULT_SUBPROBLEM_CAPACITY,
+        subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        config: SearchConfig | None = None,
     ) -> None:
-        require_positive(capacity, "capacity")
+        if config is None:
+            config = SearchConfig.from_kwargs(
+                designs=designs,
+                budget=budget,
+                options=options,
+                objective=objective,
+                workers=workers,
+                cache=cache,
+                layer_cache=layer_cache,
+                capacity=capacity,
+                subproblem_capacity=subproblem_capacity,
+            )
+        #: The canonical :class:`~repro.core.config.SearchConfig` every
+        #: tenant session of this registry is built from.
+        self.config = config.canonical()
         self.topology = topology
-        self.designs = designs
-        self.budget = budget
-        self.options = options
-        self.objective = objective
-        self.workers = workers
-        self.cache = cache
-        self.layer_cache = layer_cache
-        self.capacity = capacity
-        self.subproblem_capacity = subproblem_capacity
-        self._tenants: OrderedDict[tuple, MarsSession] = OrderedDict()
+        self.objective = self.config.objective
+        self.capacity = self.config.capacity
+        self._tenants: OrderedDict[tuple, _Tenant] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._searches = 0
+        self._retired = SessionStats.zero()
         self._closed = False
+
+    @classmethod
+    def from_config(
+        cls, topology: SystemTopology, config: SearchConfig
+    ) -> "MultiModelSession":
+        """Build a registry from a canonical config bundle.
+
+        The kwarg constructor is a thin adapter over the same bundle;
+        this is the spelling the sharded frontend ships to its workers.
+        """
+        return cls(topology, config=config)
 
     # ------------------------------------------------------------------
     # Tenant routing
@@ -163,9 +300,10 @@ class MultiModelSession:
         topology: SystemTopology,
         objective: str,
     ) -> tuple:
-        # IdentityRef pins graph/topology alive while the key is held,
-        # so tenant identity can never be aliased by a recycled id.
-        return (IdentityRef(graph), IdentityRef(topology), objective)
+        # Content-addressed: fingerprints survive pickling, so the same
+        # workload routes to the same tenant no matter which process
+        # (or which equal copy of the graph object) posed the request.
+        return (graph.fingerprint(), topology.fingerprint(), objective)
 
     def session_for(
         self,
@@ -182,30 +320,28 @@ class MultiModelSession:
         topology = topology if topology is not None else self.topology
         objective = objective if objective is not None else self.objective
         key = self._key(graph, topology, objective)
-        session = self._tenants.get(key)
-        if session is not None:
+        tenant = self._tenants.get(key)
+        if tenant is not None:
             self._hits += 1
             self._tenants.move_to_end(key)
-            return session
+            return tenant.session
         self._misses += 1
-        session = MarsSession(
-            graph,
-            topology,
-            designs=self.designs,
-            budget=self.budget,
-            options=self.options,
-            objective=objective,
-            workers=self.workers,
-            cache=self.cache,
-            layer_cache=self.layer_cache,
-            subproblem_capacity=self.subproblem_capacity,
-        )
-        self._tenants[key] = session
+        config = self.config
+        if objective != config.objective:
+            config = replace(config, objective=objective)
+        session = MarsSession.from_config(graph, topology, config)
+        self._tenants[key] = _Tenant(graph=graph, session=session)
         while len(self._tenants) > self.capacity:
             _, evicted = self._tenants.popitem(last=False)
-            evicted.close()
+            self._retire(evicted.session)
             self._evictions += 1
         return session
+
+    def _retire(self, session: MarsSession) -> None:
+        """Close a departing tenant session, folding its counters into
+        the cumulative ``retired`` aggregate first."""
+        self._retired = self._retired.merge(session.stats)
+        session.close()
 
     def search(
         self,
@@ -232,15 +368,20 @@ class MultiModelSession:
         topology: SystemTopology | None = None,
         objective: str | None = None,
     ) -> bool:
-        """Explicitly close and drop one tenant; True if it was alive."""
+        """Explicitly close and drop one tenant; True if it was alive.
+
+        Raises on a closed registry, exactly like :meth:`session_for` —
+        a closed registry accepts neither routing nor tenant mutation.
+        """
+        require(not self._closed, "serving registry is closed")
         topology = topology if topology is not None else self.topology
         objective = objective if objective is not None else self.objective
-        session = self._tenants.pop(
+        tenant = self._tenants.pop(
             self._key(graph, topology, objective), None
         )
-        if session is None:
+        if tenant is None:
             return False
-        session.close()
+        self._retire(tenant.session)
         # Deliberate evictions stay out of ``ServingStats.evictions`` —
         # that counter measures capacity *pressure*, the signal for
         # sizing ``capacity``, and caller-initiated drops are not it.
@@ -248,7 +389,10 @@ class MultiModelSession:
 
     def __contains__(self, graph: ComputationGraph) -> bool:
         """Whether ``graph`` has a live tenant under the default
-        topology and objective."""
+        topology and objective (always False once closed — a closed
+        registry holds no tenants)."""
+        if self._closed:
+            return False
         return (
             self._key(graph, self.topology, self.objective) in self._tenants
         )
@@ -263,15 +407,11 @@ class MultiModelSession:
     def stats(self) -> ServingStats:
         """Registry counters plus per-tenant session counters."""
         per_tenant: dict[str, SessionStats] = {}
-        for (graph_ref, _, objective), session in self._tenants.items():
-            base = graph_ref.obj.name
+        for (_, _, objective), tenant in self._tenants.items():
+            base = tenant.graph.name
             if objective != self.objective:
                 base = f"{base}:{objective}"
-            label, suffix = base, 2
-            while label in per_tenant:
-                label = f"{base}@{suffix}"
-                suffix += 1
-            per_tenant[label] = session.stats
+            _add_tenant_label(per_tenant, base, tenant.session.stats)
         return ServingStats(
             capacity=self.capacity,
             tenants=len(self._tenants),
@@ -280,18 +420,621 @@ class MultiModelSession:
             evictions=self._evictions,
             searches=self._searches,
             per_tenant=per_tenant,
+            retired=self._retired,
         )
 
     def close(self) -> None:
-        """Close every tenant session and refuse further routing."""
+        """Retire every tenant session and refuse further routing."""
         if self._closed:
             return
         self._closed = True
-        for session in self._tenants.values():
-            session.close()
+        for tenant in self._tenants.values():
+            self._retire(tenant.session)
         self._tenants.clear()
 
     def __enter__(self) -> "MultiModelSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded multi-process serving
+# ----------------------------------------------------------------------
+
+
+def _shard_worker(
+    conn, topology: SystemTopology, config: SearchConfig
+) -> None:
+    """One shard process: a content-addressed registry behind a pipe.
+
+    Requests arrive as tuples — ``("search", graph, seed, topology,
+    objective)``, ``("stats",)`` or ``("shutdown",)`` — and every
+    response is a ``(status, payload)`` pair. The registry is rebuilt
+    from the shipped :class:`~repro.core.config.SearchConfig`, so a
+    shard is configured bit-identically to the frontend that spawned it
+    (and to any replacement spawned after a crash).
+    """
+    registry = MultiModelSession.from_config(topology, config)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "shutdown":
+                try:
+                    conn.send(("bye", None))
+                except (BrokenPipeError, OSError):
+                    pass
+                break
+            if kind == "stats":
+                conn.send(("stats", registry.stats()))
+                continue
+            _, graph, seed, topology_override, objective = message
+            try:
+                result = registry.search(
+                    graph,
+                    seed=seed,
+                    topology=topology_override,
+                    objective=objective,
+                )
+                conn.send(("ok", result))
+            except Exception as exc:  # tenant errors travel to the caller
+                conn.send(("error", exc))
+    finally:
+        registry.close()
+        conn.close()
+
+
+class _ShardHandle:
+    """Frontend-side state of one shard: process, pipe, request queue."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "queue",
+        "thread",
+        "respawns",
+        "restarts",
+        "submitted",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.thread: threading.Thread | None = None
+        #: Crash-triggered cold respawns (bounded by the frontend's
+        #: respawn limit; beyond it the shard serves inline).
+        self.respawns = 0
+        #: Operator-requested restarts (not counted against the limit).
+        self.restarts = 0
+        #: Requests accepted for this shard by the frontend.
+        self.submitted = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None
+
+
+@dataclass(frozen=True)
+class ShardedServingStats:
+    """Aggregated counters of a :class:`ShardedServing` frontend.
+
+    Per-shard entries are the shard registries' own
+    :class:`ServingStats`; a ``None`` entry marks a shard whose worker
+    exhausted its respawn limit (its traffic is served by the inline
+    fallback registry, reported under :attr:`fallback`). A crashed
+    shard's counters restart from zero with its replacement process —
+    only frontend-side counters (:attr:`respawns`, :attr:`restarts`,
+    :attr:`submitted`) are guaranteed lifetime-cumulative.
+    """
+
+    shards: int
+    per_shard: tuple[ServingStats | None, ...]
+    #: Crash-triggered worker respawns across all shards.
+    respawns: int
+    #: Operator-requested shard restarts across all shards.
+    restarts: int
+    #: Requests accepted by the frontend, per shard.
+    submitted: tuple[int, ...]
+    #: The inline fallback registry's counters, if it ever engaged.
+    fallback: ServingStats | None
+
+    @cached_property
+    def merged(self) -> ServingStats:
+        """Every reporting registry folded into one ``ServingStats``.
+
+        Computed once per (immutable) snapshot — the aggregate
+        properties below all read it.
+        """
+        parts = [s for s in self.per_shard if s is not None]
+        if self.fallback is not None:
+            parts.append(self.fallback)
+        if not parts:
+            return ServingStats(
+                capacity=0,
+                tenants=0,
+                hits=0,
+                misses=0,
+                evictions=0,
+                searches=0,
+                per_tenant={},
+                retired=SessionStats.zero(),
+            )
+        total = parts[0]
+        for part in parts[1:]:
+            total = total.merge(part)
+        return total
+
+    @property
+    def tenants(self) -> int:
+        return self.merged.tenants
+
+    @property
+    def searches(self) -> int:
+        return self.merged.searches
+
+    @property
+    def hits(self) -> int:
+        return self.merged.hits
+
+    @property
+    def misses(self) -> int:
+        return self.merged.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.merged.evictions
+
+
+#: Frontends not yet closed — *strong* references, deliberately: shard
+#: workers are non-daemonic (they must be able to parent tenant-level
+#: GA pools), and a non-daemonic child that never hears shutdown would
+#: make multiprocessing's atexit join hang the interpreter. A frontend
+#: therefore stays pinned here until :meth:`ShardedServing.close`
+#: (a weak reference would let an abandoned frontend be collected
+#: silently, leaving its workers running and the exit hanging). The
+#: hook below closes whatever is left at exit; it is registered after
+#: the ``multiprocessing`` import above, and atexit is LIFO, so it
+#: runs before multiprocessing joins its children.
+_LIVE_FRONTENDS: "set[ShardedServing]" = set()
+
+
+def _close_live_frontends() -> None:  # pragma: no cover - interpreter exit
+    for frontend in list(_LIVE_FRONTENDS):
+        frontend.close()
+
+
+atexit.register(_close_live_frontends)
+
+
+class ShardedServing:
+    """A sharded, multi-process mapping-service frontend.
+
+    Spawns ``shards`` worker processes, each hosting one
+    :class:`MultiModelSession` rebuilt from this frontend's
+    :class:`~repro.core.config.SearchConfig`. Requests are placed by
+    **fingerprint hash** — a given (workload, topology, objective)
+    tenant always lands on the same shard, so its warm caches live in
+    exactly one process — and requests for *different* shards run
+    concurrently, which is what the single-process registry (which
+    serializes every search on one core) cannot do.
+
+    Determinism: sharded routing never changes results. Each worker's
+    registry is content-addressed and every search inside it is
+    bit-identical to a fresh :class:`~repro.core.mapper.Mars` run with
+    the same configuration and seed — across shard counts, and across
+    crash-triggered cold respawns (property-tested in
+    ``tests/core/test_sharded.py``).
+
+    Crash policy (PR 4's pool policy, one level up): a worker that dies
+    mid-request is replaced by a cold respawn and the in-flight request
+    is re-sent — at most :attr:`SHARD_RESPAWN_LIMIT` times per shard,
+    after which that shard's traffic is served *inline* by a
+    frontend-local fallback registry instead of thrashing on a broken
+    environment. Either path returns identical results.
+
+    Lifecycle: :meth:`close` (or context-manager exit) drains — every
+    request submitted before the close completes, then workers shut
+    down cleanly. :meth:`submit` after close raises.
+
+    Args:
+        topology: Default system for every tenant.
+        shards: Worker process count.
+        config: A prebuilt :class:`~repro.core.config.SearchConfig`;
+            when given it supersedes the loose keywords below.
+        mp_context: :mod:`multiprocessing` start method. Keep the
+            default ``"spawn"`` (identical on every platform, safe next
+            to the frontend's dispatcher threads) or use
+            ``"forkserver"`` on POSIX for faster worker start. Avoid
+            ``"fork"``: crash respawns fork from a dispatcher *thread*
+            while other threads run, and a child inheriting a lock held
+            at fork time can hang the replacement worker.
+        designs / budget / options / objective / workers / cache /
+            layer_cache / capacity / subproblem_capacity: The same
+            loose kwargs :class:`MultiModelSession` takes, bundled into
+            a config when ``config`` is not given. ``capacity`` bounds
+            live tenants *per shard*.
+    """
+
+    #: Crash-triggered cold respawns per shard before its traffic
+    #: degrades to the inline fallback registry.
+    SHARD_RESPAWN_LIMIT = 2
+
+    DEFAULT_SHARDS = 2
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        shards: int = DEFAULT_SHARDS,
+        config: SearchConfig | None = None,
+        mp_context: str = "spawn",
+        designs: list[AcceleratorDesign] | None = None,
+        budget: SearchBudget | None = None,
+        options: EvaluatorOptions | None = None,
+        objective: str = "latency",
+        workers: int | None = None,
+        cache: bool | None = None,
+        layer_cache: bool | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+    ) -> None:
+        require_positive(shards, "shards")
+        if config is None:
+            config = SearchConfig.from_kwargs(
+                designs=designs,
+                budget=budget,
+                options=options,
+                objective=objective,
+                workers=workers,
+                cache=cache,
+                layer_cache=layer_cache,
+                capacity=capacity,
+                subproblem_capacity=subproblem_capacity,
+            )
+        #: The canonical config every shard worker rebuilds its
+        #: registry from.
+        self.config = config.canonical()
+        self.topology = topology
+        self.shards = shards
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._closed = False
+        self._submit_lock = threading.Lock()
+        self._fallback: MultiModelSession | None = None
+        self._fallback_lock = threading.Lock()
+        self._handles = [_ShardHandle(index) for index in range(shards)]
+        try:
+            for handle in self._handles:
+                self._spawn_worker(handle)
+                handle.thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(handle,),
+                    name=f"shard-{handle.index}-dispatch",
+                    daemon=True,
+                )
+                handle.thread.start()
+        except BaseException:
+            # A spawn failure partway through must not orphan the
+            # non-daemonic workers already started — they would block
+            # interpreter exit in multiprocessing's child join.
+            self._closed = True
+            for handle in self._handles:
+                if handle.thread is not None:
+                    handle.queue.put(("stop",))
+                elif handle.process is not None:
+                    self._shutdown_worker(handle)
+            for handle in self._handles:
+                if handle.thread is not None:
+                    handle.thread.join()
+            raise
+        _LIVE_FRONTENDS.add(self)
+
+    @classmethod
+    def from_config(
+        cls,
+        topology: SystemTopology,
+        config: SearchConfig,
+        shards: int = DEFAULT_SHARDS,
+        mp_context: str = "spawn",
+    ) -> "ShardedServing":
+        """Build a frontend from a canonical config bundle."""
+        return cls(topology, shards=shards, config=config, mp_context=mp_context)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def shard_of(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> int:
+        """The shard a tenant is placed on — sticky by construction.
+
+        Derived from the tenant key's content fingerprints through
+        :func:`~repro.utils.rng.stable_seed`, so placement is identical
+        across frontends, processes and interpreter runs: a tenant's
+        warm caches accumulate on exactly one shard.
+        """
+        topology = topology if topology is not None else self.topology
+        objective = (
+            objective if objective is not None else self.config.objective
+        )
+        return stable_seed(
+            "shard-placement",
+            graph.fingerprint(),
+            topology.fingerprint(),
+            objective,
+        ) % self.shards
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        graph: ComputationGraph,
+        seed: int = 0,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> "Future[MarsResult]":
+        """Queue one search on its tenant's shard; returns a future.
+
+        Requests for different shards run concurrently; requests for
+        one shard run in submission order (each shard is one process,
+        which is exactly what keeps a tenant's caches warm in one
+        place).
+        """
+        with self._submit_lock:
+            require(not self._closed, "sharded serving frontend is closed")
+            handle = self._handles[self.shard_of(graph, topology, objective)]
+            future: "Future[MarsResult]" = Future()
+            handle.queue.put(
+                ("request", future, ("search", graph, seed, topology, objective))
+            )
+            handle.submitted += 1
+        return future
+
+    def search(
+        self,
+        graph: ComputationGraph,
+        seed: int = 0,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> MarsResult:
+        """Blocking :meth:`submit` — route one search and wait for it."""
+        return self.submit(
+            graph, seed=seed, topology=topology, objective=objective
+        ).result()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, handle: _ShardHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        # NOT daemonic: a daemonic worker could never start children of
+        # its own, which is exactly what a tenant session configured
+        # with ``workers > 1`` does (its level-2 GA process pool).
+        # Orphan safety comes from the module atexit hook instead: any
+        # frontend still open at interpreter exit is closed (workers
+        # ack and exit) before multiprocessing's own child join runs.
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, self.topology, self.config),
+            name=f"repro-shard-{handle.index}",
+        )
+        try:
+            process.start()
+        except BaseException:
+            # Failed starts happen under fd/PID pressure — the exact
+            # moment leaking the pipe's two descriptors hurts most.
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+
+    def _reap_worker(self, handle: _ShardHandle) -> None:
+        """Best-effort teardown of a dead or dying worker process."""
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+        if handle.process is not None:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            handle.process = None
+
+    def _shutdown_worker(self, handle: _ShardHandle) -> None:
+        """Graceful worker shutdown: ask, wait for the ack, reap."""
+        if handle.process is None:
+            return
+        try:
+            handle.conn.send(("shutdown",))
+            handle.conn.poll(30)
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self._reap_worker(handle)
+
+    def _restart_worker(self, handle: _ShardHandle) -> None:
+        """Operator-requested cold restart (doesn't count as a crash)."""
+        self._shutdown_worker(handle)
+        handle.restarts += 1
+        self._spawn_worker(handle)
+
+    def restart_shard(self, index: int) -> None:
+        """Cold-restart one shard worker, in order with its queue.
+
+        The restart is enqueued like a request: every search submitted
+        before this call completes first, then the worker is replaced
+        by a fresh process (warm caches gone, results unchanged — the
+        rebuilt registry is configured bit-identically). Blocks until
+        the replacement is up.
+        """
+        require(0 <= index < self.shards, f"no shard {index}")
+        with self._submit_lock:
+            require(not self._closed, "sharded serving frontend is closed")
+            done = threading.Event()
+            self._handles[index].queue.put(("restart", done))
+        done.wait()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self, handle: _ShardHandle) -> None:
+        while True:
+            item = handle.queue.get()
+            kind = item[0]
+            if kind == "stop":
+                self._shutdown_worker(handle)
+                return
+            if kind == "restart":
+                try:
+                    self._restart_worker(handle)
+                except Exception:
+                    # A failed respawn leaves the handle dead; its
+                    # traffic degrades to the inline fallback. The
+                    # dispatcher must survive either way.
+                    pass
+                finally:
+                    item[1].set()
+                continue
+            future, request = item[1], item[2]
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                status, payload = self._roundtrip(handle, request)
+            except BaseException as exc:  # frontend-side failure
+                future.set_exception(exc)
+                continue
+            if status == "error":
+                future.set_exception(payload)
+            else:
+                future.set_result(payload)
+
+    def _roundtrip(self, handle: _ShardHandle, request: tuple) -> tuple:
+        """Send one request to the shard worker; apply the crash policy.
+
+        A broken pipe means the worker died mid-request: reap it and —
+        up to :attr:`SHARD_RESPAWN_LIMIT` times — replace it cold and
+        re-send the request (results are identical, the rebuilt
+        registry just starts with cold caches). Beyond the limit the
+        shard serves inline through the fallback registry.
+        """
+        while True:
+            if not handle.alive:
+                return self._serve_inline(request)
+            try:
+                handle.conn.send(request)
+                return handle.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                self._reap_worker(handle)
+                if handle.respawns < self.SHARD_RESPAWN_LIMIT:
+                    handle.respawns += 1
+                    try:
+                        self._spawn_worker(handle)
+                    except Exception:
+                        # Respawn itself failed (resource exhaustion):
+                        # leave the handle dead so the next loop serves
+                        # this request inline, like any other dead-shard
+                        # path — the caller still gets its result.
+                        pass
+                # else: handle stays dead; next iteration serves inline.
+
+    def _serve_inline(self, request: tuple) -> tuple:
+        """Serve a request in-process after a shard exhausted respawns.
+
+        The fallback registry is built lazily from the same config the
+        workers got, so results stay bit-identical — this is the
+        sharded analogue of a retired worker pool converging to the
+        serial path.
+        """
+        if request[0] == "stats":
+            # Shard-level stats are gone with the worker; the fallback
+            # registry reports separately under ``fallback``.
+            return ("stats", None)
+        _, graph, seed, topology, objective = request
+        try:
+            with self._fallback_lock:
+                if self._fallback is None:
+                    self._fallback = MultiModelSession.from_config(
+                        self.topology, self.config
+                    )
+                result = self._fallback.search(
+                    graph, seed=seed, topology=topology, objective=objective
+                )
+            return ("ok", result)
+        except Exception as exc:
+            return ("error", exc)
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ShardedServingStats:
+        """Aggregate registry counters across every shard.
+
+        Queued like requests, so the numbers reflect a consistent
+        drain point: every search submitted before this call is counted
+        by its shard before the shard reports.
+        """
+        with self._submit_lock:
+            require(not self._closed, "sharded serving frontend is closed")
+            futures = []
+            for handle in self._handles:
+                future: Future = Future()
+                handle.queue.put(("request", future, ("stats",)))
+                futures.append(future)
+        per_shard = tuple(future.result() for future in futures)
+        with self._fallback_lock:
+            fallback = (
+                self._fallback.stats() if self._fallback is not None else None
+            )
+        return ShardedServingStats(
+            shards=self.shards,
+            per_shard=per_shard,
+            respawns=sum(h.respawns for h in self._handles),
+            restarts=sum(h.restarts for h in self._handles),
+            submitted=tuple(h.submitted for h in self._handles),
+            fallback=fallback,
+        )
+
+    def close(self) -> None:
+        """Drain every shard queue, shut workers down, join threads.
+
+        Every request submitted before the close completes (their
+        futures resolve normally); submission afterwards raises.
+        Idempotent.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self._handles:
+                handle.queue.put(("stop",))
+        for handle in self._handles:
+            if handle.thread is not None:
+                handle.thread.join()
+        with self._fallback_lock:
+            if self._fallback is not None:
+                self._fallback.close()
+        _LIVE_FRONTENDS.discard(self)
+
+    def __enter__(self) -> "ShardedServing":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -36,11 +36,11 @@ Everything cached is seed-independent, so a warm session is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.profiler import WorkloadProfile
-from repro.accelerators.registry import table2_designs
+from repro.core.config import DEFAULT_SUBPROBLEM_CAPACITY, SearchConfig
 from repro.core.evaluator import (
     EvaluatorOptions,
     LayerCacheStats,
@@ -58,7 +58,7 @@ from repro.simulator.program import ExecutionProgram
 from repro.system.topology import SystemTopology
 from repro.utils.cache import LruCache
 from repro.utils.rng import make_rng
-from repro.utils.validation import require, require_positive
+from repro.utils.validation import require
 
 
 @dataclass
@@ -119,6 +119,44 @@ class SessionStats:
     #: :attr:`MarsSession.POOL_RESPAWN_LIMIT`).
     pool_respawns: int = 0
 
+    @classmethod
+    def zero(cls) -> "SessionStats":
+        """All-zero counters (the identity element of :meth:`merge`)."""
+        return cls(
+            searches=0,
+            subproblem_solutions=0,
+            subproblem_hits=0,
+            subproblem_misses=0,
+            subproblem_evictions=0,
+            greedy_entries=0,
+            layer_cache=LayerCacheStats(),
+        )
+
+    def merge(self, other: "SessionStats") -> "SessionStats":
+        """Two sessions' counters folded together (all fields summed).
+
+        This is how a serving registry keeps honest history: when a
+        tenant session is evicted or closed, its counters merge into a
+        cumulative ``retired`` aggregate instead of vanishing with the
+        session.
+        """
+        return SessionStats(
+            searches=self.searches + other.searches,
+            subproblem_solutions=(
+                self.subproblem_solutions + other.subproblem_solutions
+            ),
+            subproblem_hits=self.subproblem_hits + other.subproblem_hits,
+            subproblem_misses=self.subproblem_misses + other.subproblem_misses,
+            subproblem_evictions=(
+                self.subproblem_evictions + other.subproblem_evictions
+            ),
+            greedy_entries=self.greedy_entries + other.greedy_entries,
+            layer_cache=self.layer_cache.merge(other.layer_cache),
+            pool_spawns=self.pool_spawns + other.pool_spawns,
+            pool_failures=self.pool_failures + other.pool_failures,
+            pool_respawns=self.pool_respawns + other.pool_respawns,
+        )
+
 
 class MarsSession:
     """A long-lived MARS mapping service for one workload on one system.
@@ -163,6 +201,9 @@ class MarsSession:
             solution cache. Eviction never changes results — an evicted
             sub-problem re-solves identically from its content-keyed
             RNG — it only re-pays that solve's wall-clock.
+        config: A prebuilt :class:`~repro.core.config.SearchConfig`;
+            when given it supersedes every other keyword (prefer
+            :meth:`from_config` for that spelling).
     """
 
     #: Times a session will replace a retired level-2 pool backend
@@ -172,7 +213,7 @@ class MarsSession:
     #: Default LRU bound of the cross-search sub-problem cache —
     #: comfortably above what any single workload poses, small enough
     #: to bound a months-lived serving process.
-    DEFAULT_SUBPROBLEM_CAPACITY = 4096
+    DEFAULT_SUBPROBLEM_CAPACITY = DEFAULT_SUBPROBLEM_CAPACITY
 
     def __init__(
         self,
@@ -186,28 +227,33 @@ class MarsSession:
         cache: bool | None = None,
         layer_cache: bool | None = None,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        config: SearchConfig | None = None,
     ) -> None:
-        require(
-            objective in ("latency", "throughput"),
-            f"objective must be 'latency' or 'throughput', got {objective!r}",
-        )
-        require_positive(subproblem_capacity, "subproblem_capacity")
+        if config is None:
+            config = SearchConfig.from_kwargs(
+                designs=designs,
+                budget=budget,
+                options=options,
+                objective=objective,
+                workers=workers,
+                cache=cache,
+                layer_cache=layer_cache,
+                subproblem_capacity=subproblem_capacity,
+            )
+        #: The canonical :class:`~repro.core.config.SearchConfig` this
+        #: session was built from (overrides folded in).
+        self.config = config.canonical()
         self.graph = graph
         self.topology = topology
-        self.designs = designs if designs is not None else table2_designs()
-        self.budget = (budget or SearchBudget.fast()).with_backend(
-            workers, cache
-        )
-        options = options or EvaluatorOptions()
-        if layer_cache is not None:
-            options = replace(options, layer_cache=layer_cache)
-        self.options = options
-        self.objective = objective
+        self.designs = list(self.config.designs)
+        self.budget = self.config.budget
+        self.options = self.config.options
+        self.objective = self.config.objective
         #: The one evaluator every search, baseline pricing and program
         #: emission of this session shares.
-        self.evaluator = MappingEvaluator(graph, topology, options)
+        self.evaluator = MappingEvaluator(graph, topology, self.options)
         #: Cross-search level-1 sub-problem solutions (LRU-bounded).
-        self.solution_cache = LruCache(subproblem_capacity)
+        self.solution_cache = LruCache(self.config.subproblem_capacity)
         self._partitions: list[Partition] | None = None
         self._design_profile: WorkloadProfile | None = None
         self._searches = 0
@@ -223,6 +269,20 @@ class MarsSession:
         # cumulative across respawns.
         self._retired_pool_spawns = 0
         self._retired_pool_failures = 0
+
+    @classmethod
+    def from_config(
+        cls,
+        graph: ComputationGraph,
+        topology: SystemTopology,
+        config: SearchConfig,
+    ) -> "MarsSession":
+        """Build a session from a canonical config bundle.
+
+        The kwarg constructor is a thin adapter over this: both paths
+        produce bit-identical sessions for equivalent inputs.
+        """
+        return cls(graph, topology, config=config)
 
     @property
     def closed(self) -> bool:

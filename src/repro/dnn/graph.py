@@ -22,6 +22,7 @@ from repro.dnn.layers import (
     InputLayer,
     Layer,
 )
+from repro.utils.rng import stable_digest
 from repro.utils.validation import require
 
 
@@ -133,6 +134,7 @@ class ComputationGraph:
             for source in node.inputs:
                 self._consumers[source].append(node.name)
         self._order: tuple[str, ...] = tuple(self._nodes)
+        self._fingerprint: str | None = None
         self._validate_single_component()
 
     def _validate_single_component(self) -> None:
@@ -214,6 +216,52 @@ class ComputationGraph:
         return [
             node for node in self.nodes() if isinstance(node.layer, InputLayer)
         ]
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (name, layers, shapes, edges).
+
+        Two graphs fingerprint identically iff they were built from the
+        same name and layer structure — every node's name, layer
+        parameters, wiring and resolved shapes contribute, so any
+        perturbation (a changed channel count, kernel, edge or layer
+        name) produces a different digest. The derivation goes through
+        :func:`repro.utils.rng.stable_digest`, so it is identical
+        across processes and interpreter runs — unlike
+        :class:`~repro.utils.identity.IdentityRef` keys, a fingerprint
+        survives pickling, which is what lets the sharded serving
+        frontend address tenants across process boundaries.
+
+        Computed once and cached; graphs are immutable after
+        construction.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = stable_digest(
+                "graph-v1",
+                self.name,
+                tuple(
+                    (
+                        node.name,
+                        node.kind,
+                        repr(node.layer),
+                        node.inputs,
+                        tuple(
+                            (s.channels, s.height, s.width)
+                            for s in node.input_shapes
+                        ),
+                        (
+                            node.output_shape.channels,
+                            node.output_shape.height,
+                            node.output_shape.width,
+                        ),
+                    )
+                    for node in self.nodes()
+                ),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Statistics

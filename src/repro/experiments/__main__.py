@@ -18,8 +18,11 @@ bit-identical to fresh single-seed runs). Table III routes every model
 through one multi-tenant
 :class:`~repro.core.serving.MultiModelSession`; ``--session-capacity``
 bounds how many tenant sessions stay warm at once (smaller capacities
-evict and rebuild without changing the table) and ``--combined`` adds
-the Herald-style merged multi-DNN row.
+evict and rebuild without changing the table), ``--combined`` adds
+the Herald-style merged multi-DNN row, and ``--shards N`` serves the
+table through N shard worker processes
+(:class:`~repro.core.serving.ShardedServing`) — concurrent on
+multi-core machines, bit-identical everywhere.
 """
 
 from __future__ import annotations
@@ -95,6 +98,14 @@ def main(argv: list[str] | None = None) -> int:
         "models combined into one graph, Herald-style)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="table3: serve searches through this many shard worker "
+        "processes (sticky fingerprint placement; models on different "
+        "shards search concurrently, results unchanged)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -125,6 +136,11 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--session-capacity must be >= 1")
     if args.combined and args.experiment != "table3":
         parser.error("--combined applies to table3 only")
+    if args.shards is not None:
+        if args.experiment != "table3":
+            parser.error("--shards applies to table3 only")
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
     if args.no_layer_cache and args.experiment == "table2":
         # table2 profiles designs without any mapping search; there is
         # no evaluator whose cache the flag could disable.
@@ -156,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
             options=EvaluatorOptions(layer_cache=layer_cache),
             session_capacity=args.session_capacity,
             combined=args.combined,
+            shards=args.shards,
         )
         print(result.to_text())
         summary = _layer_cache_summary(
@@ -163,8 +180,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         if summary:
             print(summary)
-        if result.serving is not None:
-            serving = result.serving
+        serving = result.serving
+        if serving is not None and args.shards is not None:
+            merged = serving.merged
+            print(
+                f"sharded serving: {serving.shards} shards "
+                f"(per-shard requests {list(serving.submitted)}), "
+                f"{merged.tenants} live tenants, {merged.hits} hits / "
+                f"{merged.misses} misses, {merged.searches} searches, "
+                f"{serving.respawns} respawns"
+            )
+        elif serving is not None:
             print(
                 f"serving registry: {serving.tenants} live tenants "
                 f"(capacity {serving.capacity}), {serving.hits} hits / "

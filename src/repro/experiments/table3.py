@@ -7,8 +7,11 @@ latency, the MARS latency, the reduction, and the mapping MARS found
 All models route through one multi-tenant
 :class:`~repro.core.serving.MultiModelSession` registry (one warm
 session per model; per-model results are bit-identical to fresh
-single-model runs). ``combined=True`` appends the Herald-style
-multi-DNN row: every requested model merged into one graph via
+single-model runs) — or, with ``shards=N``, through a
+:class:`~repro.core.serving.ShardedServing` frontend whose N worker
+processes search different models concurrently, still bit-identically.
+``combined=True`` appends the Herald-style multi-DNN row: every
+requested model merged into one graph via
 :func:`repro.dnn.multi.combine_graphs` and mapped as a single tenant.
 """
 
@@ -18,10 +21,16 @@ from dataclasses import dataclass, field
 
 from repro.accelerators import table2_designs
 from repro.core.baselines import computation_prioritized_mapping
+from repro.core.config import SearchConfig
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga import SearchBudget
 from repro.core.mapper import MarsResult
-from repro.core.serving import MultiModelSession, ServingStats
+from repro.core.serving import (
+    MultiModelSession,
+    ServingStats,
+    ShardedServing,
+    ShardedServingStats,
+)
 from repro.dnn import build_model
 from repro.dnn.models import TABLE3_MODELS
 from repro.dnn.multi import combine_graphs
@@ -51,8 +60,10 @@ class Table3Row:
 class Table3Result:
     rows: list[Table3Row] = field(default_factory=list)
     mars_results: dict[str, MarsResult] = field(default_factory=dict)
-    #: Registry counters of the serving layer the rows ran through.
-    serving: ServingStats | None = None
+    #: Counters of the serving layer the rows ran through — the
+    #: in-process registry's stats, or the sharded frontend's aggregate
+    #: when ``shards`` was requested.
+    serving: ServingStats | ShardedServingStats | None = None
 
     @property
     def mean_reduction_pct(self) -> float:
@@ -101,6 +112,7 @@ def run_table3(
     seeds: tuple[int, ...] | None = None,
     session_capacity: int | None = None,
     combined: bool = False,
+    shards: int | None = None,
 ) -> Table3Result:
     """Reproduce Table III (or a subset of its rows).
 
@@ -116,7 +128,12 @@ def run_table3(
     every requested row) — a smaller capacity evicts and rebuilds
     tenants without changing any number in the table. ``combined``
     (needs >= 2 models) appends a Herald-style row mapping all models
-    merged into one graph as a single extra tenant.
+    merged into one graph as a single extra tenant. ``shards`` routes
+    every search through a
+    :class:`~repro.core.serving.ShardedServing` frontend instead —
+    models on different shards search concurrently on multi-core
+    machines, and every number in the table stays bit-identical to the
+    single-process run.
     """
     topology = topology or f1_16xlarge()
     budget = budget or SearchBudget.fast()
@@ -134,19 +151,36 @@ def run_table3(
     capacity = (
         session_capacity if session_capacity is not None else len(graphs)
     )
-    with MultiModelSession(
-        topology,
-        designs=designs,
-        budget=budget,
-        options=options,
-        capacity=capacity,
-    ) as registry:
+    config = SearchConfig.from_kwargs(
+        designs=designs, budget=budget, options=options, capacity=capacity
+    )
+    if shards is not None:
+        server = ShardedServing.from_config(topology, config, shards=shards)
+    else:
+        server = MultiModelSession.from_config(topology, config)
+    with server:
+        if shards is not None:
+            # Submit the whole sweep up front: searches placed on
+            # different shards overlap while this process prices the
+            # baselines.
+            futures = {
+                (graph.name, s): server.submit(graph, seed=s)
+                for graph in graphs
+                for s in seeds
+            }
+            sweep_of = lambda graph: [  # noqa: E731 - tiny local dispatch
+                futures[(graph.name, s)].result() for s in seeds
+            ]
+        else:
+            sweep_of = lambda graph: [  # noqa: E731
+                server.search(graph, seed=s) for s in seeds
+            ]
         for graph in graphs:
             stats = graph.stats()
             baseline = computation_prioritized_mapping(
                 graph, topology, designs, options
             )
-            sweep = [registry.search(graph, seed=s) for s in seeds]
+            sweep = sweep_of(graph)
             mars = min(sweep, key=lambda r: r.evaluation.latency_seconds)
             result.mars_results[graph.name] = mars
             result.rows.append(
@@ -160,5 +194,5 @@ def run_table3(
                     mapping_found=mars.describe(),
                 )
             )
-        result.serving = registry.stats()
+        result.serving = server.stats()
     return result

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from repro.accelerators.base import AcceleratorDesign
+from repro.utils.rng import stable_digest
 from repro.utils.validation import require, require_positive
 
 
@@ -111,6 +112,51 @@ class SystemTopology:
                     acc.acc_id in self.fixed_designs,
                     f"fixed system lacks a design for accelerator {acc.acc_id}",
                 )
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the system (accelerators, links, rates).
+
+        Every field the cost model reads contributes — accelerators
+        (id, name, DRAM, group), links and their bandwidths, host
+        bandwidths, per-hop latencies, the system kind and any fixed
+        designs — plus the system name, so any perturbation yields a
+        different digest while rebuilding the same preset twice (even
+        in another process) yields the same one. See
+        :meth:`repro.dnn.graph.ComputationGraph.fingerprint` for why
+        this exists: fingerprints are the process-boundary-safe tenant
+        identity of the serving layer.
+
+        Computed once and cached; mutating a topology in place after
+        construction is not supported anywhere in the mapper.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_digest(
+                "topology-v1",
+                self.name,
+                self.kind,
+                tuple(
+                    (acc.acc_id, acc.name, acc.dram_bytes, acc.group)
+                    for acc in self.accelerators
+                ),
+                tuple(
+                    (link.key, link.bandwidth_bps)
+                    for link in sorted(self.links, key=lambda l: l.key)
+                ),
+                tuple(sorted(self.host_bandwidth_bps.items())),
+                self.link_latency_s,
+                self.host_latency_s,
+                tuple(
+                    (acc_id, repr(design))
+                    for acc_id, design in sorted(self.fixed_designs.items())
+                ),
+            )
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Basic queries

@@ -7,7 +7,7 @@ without import cycles.
 
 from repro.utils.cache import LruCache
 from repro.utils.identity import IdentityRef
-from repro.utils.rng import make_rng, spawn_rngs, stable_seed
+from repro.utils.rng import make_rng, spawn_rngs, stable_digest, stable_seed
 from repro.utils.tables import format_table
 from repro.utils.units import (
     GBPS,
@@ -40,6 +40,7 @@ __all__ = [
     "require_positive",
     "seconds_to_human",
     "spawn_rngs",
+    "stable_digest",
     "stable_seed",
     "transfer_seconds",
 ]

@@ -54,3 +54,19 @@ def stable_seed(*parts: object) -> int:
     blob = repr(parts).encode("utf-8")
     digest = hashlib.blake2b(blob, digest_size=8).digest()
     return int.from_bytes(digest, "big") >> 1
+
+
+def stable_digest(*parts: object) -> str:
+    """A 128-bit hex digest derived deterministically from ``parts``.
+
+    The string-valued sibling of :func:`stable_seed`, with the same
+    contract: stable across processes, interpreter runs and
+    ``PYTHONHASHSEED`` values, provided every part has a deterministic
+    ``repr``. This is the primitive behind content fingerprints
+    (:meth:`repro.dnn.graph.ComputationGraph.fingerprint`,
+    :meth:`repro.system.topology.SystemTopology.fingerprint`) — keys
+    that, unlike :class:`~repro.utils.identity.IdentityRef`, survive a
+    pickle round-trip across a process boundary.
+    """
+    blob = repr(parts).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()

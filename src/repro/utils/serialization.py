@@ -55,10 +55,18 @@ def strategy_from_dict(data: dict[str, Any]) -> ParallelismStrategy:
 
 
 def mapping_to_dict(mapping: Mapping) -> dict[str, Any]:
-    """Serialize a mapping decision (not the graph/topology themselves)."""
+    """Serialize a mapping decision (not the graph/topology themselves).
+
+    The workload/system *content fingerprints* ride along: names alone
+    cannot tell a renamed-but-different model from the one the mapping
+    was searched for, and loading a mapping against the wrong structure
+    silently prices garbage. :func:`mapping_from_dict` checks them.
+    """
     return {
         "workload": mapping.graph.name,
+        "workload_fingerprint": mapping.graph.fingerprint(),
         "system": mapping.topology.name,
+        "system_fingerprint": mapping.topology.fingerprint(),
         "assignments": [
             {
                 "start": a.layer_range.start,
@@ -85,7 +93,12 @@ def mapping_from_dict(
 
     Raises :class:`ValueError` when the stored decision does not match
     the provided workload or system (the usual cause: the model zoo or
-    preset changed since the mapping was saved).
+    preset changed since the mapping was saved). Besides the names, the
+    stored content fingerprints are checked when present — a mapping
+    saved for a *structurally different* graph or system under the same
+    name is rejected instead of loading silently. Mappings saved before
+    fingerprints existed (no ``*_fingerprint`` keys) keep loading on
+    the name check alone.
     """
     require(
         data.get("workload") == graph.name,
@@ -96,6 +109,22 @@ def mapping_from_dict(
         data.get("system") == topology.name,
         f"mapping was saved for system {data.get('system')!r}, "
         f"got {topology.name!r}",
+    )
+    stored_graph_fp = data.get("workload_fingerprint")
+    require(
+        stored_graph_fp is None or stored_graph_fp == graph.fingerprint(),
+        f"mapping was saved for workload {data.get('workload')!r} with "
+        f"fingerprint {stored_graph_fp}, but the provided graph "
+        f"{graph.name!r} has fingerprint {graph.fingerprint()} — the "
+        "model definition changed since the mapping was saved",
+    )
+    stored_system_fp = data.get("system_fingerprint")
+    require(
+        stored_system_fp is None or stored_system_fp == topology.fingerprint(),
+        f"mapping was saved for system {data.get('system')!r} with "
+        f"fingerprint {stored_system_fp}, but the provided topology "
+        f"{topology.name!r} has fingerprint {topology.fingerprint()} — the "
+        "system definition changed since the mapping was saved",
     )
     by_name = {design.name: design for design in designs}
     assignments = []

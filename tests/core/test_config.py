@@ -1,0 +1,143 @@
+"""SearchConfig: canonicalization, equality, pickling, adapters.
+
+The config bundle's contract: two spellings of the same effective
+search configuration canonicalize (and fingerprint) identically; the
+bundle survives pickling unchanged (it is what sharded serving ships to
+worker processes); and the facades' kwarg constructors are thin
+adapters over it — ``from_config`` and kwargs build bit-identical
+searchers.
+"""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Mars, MarsSession, MultiModelSession, SearchConfig
+from repro.core.evaluator import EvaluatorOptions
+from repro.core.ga import SearchBudget
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+TOPOLOGY = f1_16xlarge()
+CNN = build_model("tiny_cnn")
+
+
+class TestCanonicalization:
+    def test_defaults_are_already_canonical(self):
+        config = SearchConfig()
+        assert config.canonical() == config
+
+    def test_worker_override_folds_into_the_budget(self):
+        via_override = SearchConfig(workers=2, cache=True).canonical()
+        via_budget = SearchConfig(
+            budget=SearchBudget.fast().with_backend(workers=2, cache=True)
+        ).canonical()
+        assert via_override == via_budget
+        assert via_override.workers is None
+        assert via_override.budget.level2.workers == 2
+
+    def test_layer_cache_override_folds_into_the_options(self):
+        via_override = SearchConfig(layer_cache=False).canonical()
+        via_options = SearchConfig(
+            options=EvaluatorOptions(layer_cache=False)
+        ).canonical()
+        assert via_override == via_options
+        assert via_override.layer_cache is None
+
+    def test_canonical_is_idempotent(self):
+        config = SearchConfig(workers=2, layer_cache=False).canonical()
+        assert config.canonical() == config
+
+    def test_fingerprint_matches_for_equivalent_spellings(self):
+        a = SearchConfig(workers=2)
+        b = SearchConfig(
+            budget=SearchBudget.fast().with_backend(workers=2)
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(objective="throughput"),
+            dict(capacity=3),
+            dict(subproblem_capacity=16),
+            dict(budget=SearchBudget.paper()),
+            dict(options=EvaluatorOptions(memory_spill=False)),
+        ],
+        ids=["objective", "capacity", "subproblem", "budget", "options"],
+    )
+    def test_fingerprint_changes_with_the_configuration(self, change):
+        assert (
+            replace(SearchConfig(), **change).fingerprint()
+            != SearchConfig().fingerprint()
+        )
+
+
+class TestValidation:
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            SearchConfig(objective="power")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SearchConfig(capacity=0)
+
+    def test_zero_subproblem_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SearchConfig(subproblem_capacity=0)
+
+    def test_designs_list_coerced_to_tuple(self):
+        from repro.accelerators import table2_designs
+
+        config = SearchConfig(designs=table2_designs())
+        assert isinstance(config.designs, tuple)
+
+
+class TestPickling:
+    def test_round_trip_preserves_equality_and_fingerprint(self):
+        config = SearchConfig(workers=2, layer_cache=False, capacity=3)
+        copy = pickle.loads(pickle.dumps(config))
+        assert copy == config
+        assert copy.fingerprint() == config.fingerprint()
+
+
+class TestFacadeAdapters:
+    def test_mars_kwargs_and_from_config_agree(self):
+        config = SearchConfig(workers=None, cache=True)
+        via_config = Mars.from_config(CNN, TOPOLOGY, config)
+        via_kwargs = Mars(CNN, TOPOLOGY, cache=True)
+        assert via_config.config() == via_kwargs.config()
+
+    def test_mars_honors_subproblem_capacity(self):
+        # Regression: the facade used to drop the configured bound and
+        # build its session with the 4096 default.
+        config = SearchConfig(subproblem_capacity=16)
+        mars = Mars.from_config(CNN, TOPOLOGY, config)
+        assert mars.config().subproblem_capacity == 16
+        with mars:
+            assert mars.session().solution_cache.capacity == 16
+
+    def test_session_kwargs_and_from_config_agree(self):
+        config = SearchConfig(layer_cache=False)
+        with MarsSession.from_config(CNN, TOPOLOGY, config) as a:
+            with MarsSession(CNN, TOPOLOGY, layer_cache=False) as b:
+                assert a.config == b.config
+                assert a.options == b.options
+                assert not a.options.layer_cache
+
+    def test_registry_kwargs_and_from_config_agree(self):
+        config = SearchConfig(capacity=3)
+        with MultiModelSession.from_config(TOPOLOGY, config) as a:
+            with MultiModelSession(TOPOLOGY, capacity=3) as b:
+                assert a.config == b.config
+                assert a.capacity == b.capacity == 3
+
+    def test_config_constructed_search_is_bit_identical_to_kwargs(self):
+        config = SearchConfig()
+        fresh = Mars(CNN, TOPOLOGY).search(seed=0)
+        with MarsSession.from_config(CNN, TOPOLOGY, config) as session:
+            warm = session.search(seed=0)
+        assert warm.latency_ms == fresh.latency_ms
+        assert warm.describe() == fresh.describe()
+        assert warm.ga.history == fresh.ga.history

@@ -1,7 +1,8 @@
 """MultiModelSession: multi-tenant routing, eviction, determinism.
 
 The registry's contract: every request reaches a warm session keyed by
-(graph identity, topology identity, objective); capacity pressure
+content — (graph fingerprint, topology fingerprint, objective) — so
+structurally identical workloads share one tenant; capacity pressure
 closes the least-recently-used tenant; and none of that routing ever
 changes a result — each tenant search is bit-identical to a fresh
 ``Mars`` run with the same configuration and seed, whether the tenant
@@ -51,11 +52,27 @@ class TestRouting:
             assert CNN in registry
             assert RESNET not in registry
 
-    def test_tenants_are_keyed_by_object_identity_not_name(self):
-        twin = build_model("tiny_cnn")  # equal content, distinct object
+    def test_tenants_are_content_addressed(self):
+        # Equal content, distinct object: fingerprints agree, so the
+        # twin routes to the SAME warm tenant (and an unpickled copy
+        # would too — the property sharding is built on).
+        twin = build_model("tiny_cnn")
         with MultiModelSession(TOPOLOGY) as registry:
             a = registry.session_for(CNN)
             b = registry.session_for(twin)
+            assert a is b
+            assert registry.stats().hits == 1
+            assert len(registry) == 1
+
+    def test_same_name_different_content_gets_its_own_tenant(self):
+        from repro.dnn.models.tiny import tiny_cnn
+
+        other = tiny_cnn(num_classes=12)  # same graph name, new content
+        assert other.name == CNN.name
+        assert other.fingerprint() != CNN.fingerprint()
+        with MultiModelSession(TOPOLOGY) as registry:
+            a = registry.session_for(CNN)
+            b = registry.session_for(other)
             assert a is not b
             labels = set(registry.stats().per_tenant)
         assert labels == {"tiny_cnn", "tiny_cnn@2"}
@@ -89,7 +106,9 @@ class TestEviction:
             assert registry.stats().evictions == 1
 
     def test_recency_refresh_protects_the_hot_tenant(self):
-        third = build_model("tiny_cnn")
+        from repro.dnn.models.tiny import tiny_cnn
+
+        third = tiny_cnn(num_classes=12)  # distinct content, third tenant
         with MultiModelSession(TOPOLOGY, capacity=2) as registry:
             registry.session_for(CNN)
             resnet_session = registry.session_for(RESNET)
@@ -121,6 +140,53 @@ class TestEviction:
             MultiModelSession(TOPOLOGY, capacity=0)
 
 
+class TestRetiredStats:
+    def test_capacity_eviction_folds_counters_into_retired(self):
+        with MultiModelSession(TOPOLOGY, capacity=1) as registry:
+            registry.search(CNN, seed=0)
+            registry.search(CNN, seed=1)
+            before = registry.stats()
+            assert before.retired.searches == 0
+            registry.search(RESNET, seed=0)  # evicts the CNN tenant
+            after = registry.stats()
+        assert after.retired.searches == 2
+        assert after.retired.subproblem_hits == (
+            before.per_tenant["tiny_cnn"].subproblem_hits
+        )
+
+    def test_explicit_evict_folds_counters_into_retired(self):
+        with MultiModelSession(TOPOLOGY) as registry:
+            registry.search(CNN, seed=0)
+            registry.evict(CNN)
+            stats = registry.stats()
+        assert stats.retired.searches == 1
+        assert stats.per_tenant == {}
+
+    def test_lifetime_spans_live_and_retired_tenants(self):
+        with MultiModelSession(TOPOLOGY, capacity=1) as registry:
+            registry.search(CNN, seed=0)
+            registry.search(RESNET, seed=0)  # evicts CNN
+            stats = registry.stats()
+            assert stats.lifetime.searches == 2
+            # A closed registry still reports the full history.
+        final = registry.stats()
+        assert final.per_tenant == {}
+        assert final.retired.searches == 2
+        assert final.lifetime.searches == 2
+
+    def test_rebuild_after_eviction_keeps_cumulative_history(self):
+        registry = MultiModelSession(TOPOLOGY, capacity=1)
+        registry.search(CNN, seed=0)
+        registry.search(RESNET, seed=0)  # evicts the CNN tenant
+        registry.search(CNN, seed=0)  # evicts RESNET, rebuilds CNN cold
+        registry.close()  # retires the rebuilt CNN tenant
+        stats = registry.stats()
+        # Every search ever routed stays counted: one per tenant
+        # incarnation, none lost to the eviction churn.
+        assert stats.retired.searches == 3
+        assert stats.lifetime.searches == 3
+
+
 class TestLifecycle:
     def test_close_closes_every_tenant_and_refuses_routing(self):
         registry = MultiModelSession(TOPOLOGY)
@@ -133,12 +199,69 @@ class TestLifecycle:
             registry.session_for(CNN)
         registry.close()  # idempotent
 
+    def test_evict_refuses_on_a_closed_registry(self):
+        # Regression: evict() used to silently return False after
+        # close() while session_for() raised — mutation now refuses
+        # consistently.
+        registry = MultiModelSession(TOPOLOGY)
+        registry.session_for(CNN)
+        registry.close()
+        with pytest.raises(ValueError, match="closed"):
+            registry.evict(CNN)
+
+    def test_contains_reports_false_on_a_closed_registry(self):
+        registry = MultiModelSession(TOPOLOGY)
+        registry.session_for(CNN)
+        assert CNN in registry
+        registry.close()
+        assert CNN not in registry  # a closed registry holds no tenants
+
+    def test_close_folds_every_tenant_into_retired(self):
+        registry = MultiModelSession(TOPOLOGY)
+        registry.search(CNN, seed=0)
+        registry.search(RESNET, seed=0)
+        registry.close()
+        assert registry.stats().retired.searches == 2
+
     def test_workers_thread_through_to_tenant_sessions(self):
         with MultiModelSession(TOPOLOGY, workers=2) as registry:
             session = registry.session_for(CNN)
             assert session.level2_pool is not None
             assert session.budget.level2.workers == 2
         assert session.closed
+
+    def test_merge_never_stacks_label_suffixes(self):
+        # Aggregating registries whose labels are already @n-suffixed
+        # must renumber from the root, not produce "foo@2@2".
+        from repro.core.serving import ServingStats
+        from repro.core.session import SessionStats
+
+        def stats_with(labels):
+            return ServingStats(
+                capacity=8,
+                tenants=len(labels),
+                hits=0,
+                misses=0,
+                evictions=0,
+                searches=0,
+                per_tenant={l: SessionStats.zero() for l in labels},
+                retired=SessionStats.zero(),
+            )
+
+        merged = stats_with(["foo", "foo@2"]).merge(stats_with(["foo@2"]))
+        assert set(merged.per_tenant) == {"foo", "foo@2", "foo@3"}
+
+    def test_stats_keep_a_literal_at_suffixed_graph_name(self):
+        # A graph genuinely named "foo@2" must keep its name in
+        # registry-local stats — root-stripping applies only to merge.
+        from repro.dnn.models.tiny import tiny_cnn
+
+        oddly_named = tiny_cnn()
+        oddly_named.name = "tiny_cnn@2"
+        with MultiModelSession(TOPOLOGY) as registry:
+            registry.session_for(oddly_named)
+            labels = set(registry.stats().per_tenant)
+        assert labels == {"tiny_cnn@2"}
 
     def test_stats_hit_rate(self):
         with MultiModelSession(TOPOLOGY) as registry:

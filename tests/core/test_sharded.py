@@ -1,0 +1,207 @@
+"""ShardedServing: placement, concurrency, determinism, crash policy.
+
+The frontend's contract: tenants are placed stickily by content
+fingerprint; every routed search — across shard counts {1, 2}, after a
+forced shard restart, after a crash-triggered cold respawn, and through
+the inline fallback once the respawn budget is spent — is bit-identical
+to a fresh ``Mars`` run with the same configuration and seed; and
+``close()`` drains every submitted request before shutting workers
+down.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import Mars, ShardedServing
+from repro.core.serving import ShardedServingStats
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+TOPOLOGY = f1_16xlarge()
+CNN = build_model("tiny_cnn")
+RESNET = build_model("tiny_resnet")
+
+#: Fresh single-process results, computed once per module — every
+#: sharded test compares against these.
+_FRESH: dict = {}
+
+
+def fresh(graph, seed, objective="latency"):
+    key = (graph.fingerprint(), seed, objective)
+    if key not in _FRESH:
+        _FRESH[key] = Mars(graph, TOPOLOGY, objective=objective).search(
+            seed=seed
+        )
+    return _FRESH[key]
+
+
+def _same_result(sharded, reference):
+    assert sharded.latency_ms == reference.latency_ms
+    assert sharded.describe() == reference.describe()
+    assert sharded.ga.history == reference.ga.history
+
+
+class TestPlacement:
+    def test_placement_is_sticky_and_deterministic(self):
+        with ShardedServing(TOPOLOGY, shards=2) as a:
+            with ShardedServing(TOPOLOGY, shards=2) as b:
+                for graph in (CNN, RESNET):
+                    assert a.shard_of(graph) == b.shard_of(graph)
+                    assert a.shard_of(graph) == a.shard_of(
+                        build_model(graph.name)  # equal content, new object
+                    )
+
+    def test_all_requests_for_one_tenant_land_on_one_shard(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            home = serving.shard_of(CNN)
+            for seed in (0, 1, 2):
+                serving.search(CNN, seed=seed)
+            stats = serving.stats()
+            assert stats.submitted[home] == 3
+            assert sum(stats.submitted) == 3
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedServing(TOPOLOGY, shards=0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_results_match_fresh_mars_across_shard_counts(self, shards):
+        with ShardedServing(TOPOLOGY, shards=shards) as serving:
+            futures = {
+                (graph.name, seed): serving.submit(graph, seed=seed)
+                for graph in (CNN, RESNET)
+                for seed in (0, 1)
+            }
+            for (name, seed), future in futures.items():
+                graph = CNN if name == CNN.name else RESNET
+                _same_result(future.result(), fresh(graph, seed))
+
+    def test_objective_override_routes_and_matches(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            result = serving.search(CNN, seed=0, objective="throughput")
+        _same_result(result, fresh(CNN, 0, objective="throughput"))
+
+    def test_forced_restart_is_results_identical(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            warm = serving.search(CNN, seed=0)
+            serving.restart_shard(serving.shard_of(CNN))
+            rebuilt = serving.search(CNN, seed=0)  # cold rebuilt worker
+            stats = serving.stats()
+        _same_result(warm, fresh(CNN, 0))
+        _same_result(rebuilt, fresh(CNN, 0))
+        assert stats.restarts == 1
+        assert stats.respawns == 0
+
+
+class TestCrashPolicy:
+    def test_killed_worker_respawns_cold_and_results_identical(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            home = serving.shard_of(CNN)
+            serving.search(CNN, seed=0)
+            serving._handles[home].process.kill()
+            result = serving.search(CNN, seed=1)  # crash detected mid-send
+            stats = serving.stats()
+        _same_result(result, fresh(CNN, 1))
+        assert stats.respawns == 1
+        assert stats.per_shard[home] is not None
+
+    def test_respawn_budget_exhausted_falls_back_inline(self, monkeypatch):
+        monkeypatch.setattr(ShardedServing, "SHARD_RESPAWN_LIMIT", 0)
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            home = serving.shard_of(CNN)
+            serving._handles[home].process.kill()
+            result = serving.search(CNN, seed=0)  # served inline
+            stats = serving.stats()
+            _same_result(result, fresh(CNN, 0))
+            assert stats.per_shard[home] is None  # worker permanently gone
+            assert stats.fallback is not None
+            assert stats.fallback.searches == 1
+            # The frontend keeps serving the dead shard's tenants.
+            _same_result(serving.search(CNN, seed=1), fresh(CNN, 1))
+
+
+class TestLifecycleAndStats:
+    def test_close_drains_submitted_requests(self):
+        serving = ShardedServing(TOPOLOGY, shards=2)
+        futures = [serving.submit(CNN, seed=s) for s in (0, 1)]
+        serving.close()  # must complete both before shutting down
+        for seed, future in enumerate(futures):
+            _same_result(future.result(timeout=0), fresh(CNN, seed))
+
+    def test_submit_after_close_raises(self):
+        serving = ShardedServing(TOPOLOGY, shards=1)
+        serving.close()
+        with pytest.raises(ValueError, match="closed"):
+            serving.submit(CNN)
+        serving.close()  # idempotent
+
+    def test_shard_workers_can_host_pooled_tenant_sessions(self):
+        # Regression: daemonic shard workers could not parent the
+        # tenant sessions' level-2 GA pools — every pooled batch broke
+        # and silently degraded to serial with executor churn. A
+        # workers=2 tenant inside a shard must spawn its pool once and
+        # never break it.
+        with ShardedServing(TOPOLOGY, shards=1, workers=2) as serving:
+            result = serving.search(CNN, seed=0)
+            per_tenant = serving.stats().per_shard[0].per_tenant
+        tenant = per_tenant["tiny_cnn"]
+        assert tenant.pool_spawns == 1
+        assert tenant.pool_failures == 0
+        assert tenant.pool_respawns == 0
+        _same_result(result, fresh(CNN, 0))
+
+    def test_abandoned_frontend_does_not_hang_interpreter_exit(
+        self, tmp_path
+    ):
+        # Shard workers are non-daemonic (so tenant sessions can start
+        # their own GA pools); a frontend abandoned without close()
+        # must still let the interpreter exit — the module atexit hook
+        # closes it before multiprocessing joins its children. This
+        # guards the atexit *registration order*, which is easy to
+        # break silently.
+        script = tmp_path / "abandon.py"
+        script.write_text(
+            "from repro.core import ShardedServing\n"
+            "from repro.dnn import build_model\n"
+            "from repro.system import f1_16xlarge\n"
+            "serving = ShardedServing(f1_16xlarge(), shards=1)\n"
+            "serving.search(build_model('tiny_cnn'), seed=0)\n"
+            "print('done')\n"  # exits WITHOUT serving.close()
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[2] / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "done" in result.stdout
+
+    def test_stats_aggregate_across_shards(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            for graph in (CNN, RESNET):
+                for seed in (0, 1):
+                    serving.search(graph, seed=seed)
+            stats = serving.stats()
+        assert isinstance(stats, ShardedServingStats)
+        assert stats.shards == 2
+        assert stats.searches == 4
+        assert stats.tenants == 2
+        assert sum(stats.submitted) == 4
+        merged = stats.merged
+        assert merged.hits == 2  # second seed of each tenant was warm
+        assert merged.misses == 2
+        assert merged.retired.searches == 0

@@ -1,0 +1,173 @@
+"""Content-fingerprint semantics: agreement, sensitivity, stability.
+
+The contract behind content-addressed serving
+(:mod:`repro.core.serving`): structurally equal graphs/topologies
+fingerprint identically no matter when, where or how often they are
+built; any perturbation of layers, shapes, wiring, links or rates
+changes the digest; and the digest is stable across processes —
+including processes with different ``PYTHONHASHSEED`` values, which is
+exactly where ``hash()``-based keys silently diverge.
+"""
+
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.dnn import build_model
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.models.random_model import random_model
+from repro.system import f1_16xlarge
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _small_graph(
+    name: str = "probe",
+    channels: int = 8,
+    kernel: int = 3,
+    conv_name: str = "conv1",
+    with_pool: bool = True,
+):
+    b = GraphBuilder(name)
+    x = b.input(3, 16, 16)
+    x = b.conv(x, channels, kernel=kernel, padding=kernel // 2, name=conv_name)
+    if with_pool:
+        x = b.maxpool(x, kernel=2, stride=2)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    b.fc(x, 10, name="fc")
+    return b.build()
+
+
+class TestGraphFingerprint:
+    def test_structurally_equal_builds_agree(self):
+        assert _small_graph().fingerprint() == _small_graph().fingerprint()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_models_rebuilt_from_one_seed_agree(self, seed):
+        assert (
+            random_model(seed).fingerprint()
+            == random_model(seed).fingerprint()
+        )
+
+    def test_distinct_random_models_disagree(self):
+        prints = {random_model(seed).fingerprint() for seed in range(8)}
+        assert len(prints) == 8
+
+    def test_zoo_models_all_distinct(self):
+        from repro.dnn.models import MODEL_ZOO
+
+        prints = {build_model(name).fingerprint() for name in MODEL_ZOO}
+        assert len(prints) == len(MODEL_ZOO)
+
+    @pytest.mark.parametrize(
+        "perturbed",
+        [
+            dict(channels=9),
+            dict(kernel=5),
+            dict(conv_name="conv1b"),
+            dict(with_pool=False),
+            dict(name="probe2"),
+        ],
+        ids=["channels", "kernel", "layer-name", "structure", "graph-name"],
+    )
+    def test_any_perturbation_disagrees(self, perturbed):
+        assert (
+            _small_graph(**perturbed).fingerprint()
+            != _small_graph().fingerprint()
+        )
+
+    def test_fingerprint_is_cached(self):
+        graph = _small_graph()
+        assert graph.fingerprint() is graph.fingerprint()
+
+    def test_pickle_round_trip_preserves_fingerprint(self):
+        import pickle
+
+        graph = build_model("tiny_cnn")
+        copy = pickle.loads(pickle.dumps(graph))
+        assert copy is not graph
+        assert copy.fingerprint() == graph.fingerprint()
+
+
+class TestTopologyFingerprint:
+    def test_rebuilt_preset_agrees(self):
+        assert f1_16xlarge().fingerprint() == f1_16xlarge().fingerprint()
+
+    def test_accelerator_count_disagrees(self):
+        assert (
+            f1_16xlarge().fingerprint()
+            != f1_16xlarge(accelerators_per_group=2).fingerprint()
+        )
+
+    def test_link_bandwidth_perturbation_disagrees(self):
+        base = f1_16xlarge()
+        links = list(base.links)
+        links[0] = replace(links[0], bandwidth_bps=links[0].bandwidth_bps * 2)
+        modified = replace(base, links=links)
+        assert modified.fingerprint() != base.fingerprint()
+
+    def test_dropped_link_disagrees(self):
+        base = f1_16xlarge()
+        modified = replace(base, links=list(base.links[1:]))
+        assert modified.fingerprint() != base.fingerprint()
+
+    def test_host_bandwidth_perturbation_disagrees(self):
+        base = f1_16xlarge()
+        host = dict(base.host_bandwidth_bps)
+        host[0] *= 2
+        modified = replace(base, host_bandwidth_bps=host)
+        assert modified.fingerprint() != base.fingerprint()
+
+    def test_latency_perturbation_disagrees(self):
+        base = f1_16xlarge()
+        modified = replace(base, link_latency_s=base.link_latency_s * 10)
+        assert modified.fingerprint() != base.fingerprint()
+
+    def test_renamed_system_disagrees(self):
+        base = f1_16xlarge()
+        assert (
+            replace(base, name="other").fingerprint() != base.fingerprint()
+        )
+
+
+_CHILD_CODE = """
+from repro.dnn import build_model
+from repro.dnn.models.random_model import random_model
+from repro.system import f1_16xlarge
+print(build_model("tiny_cnn").fingerprint())
+print(f1_16xlarge().fingerprint())
+print(random_model(3).fingerprint())
+"""
+
+
+def _fingerprints_in_child(hashseed: str) -> list[str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hashseed
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_CODE],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.split()
+
+
+class TestCrossProcessStability:
+    def test_fingerprints_identical_across_processes_and_hash_seeds(self):
+        # Two child interpreters with *different* PYTHONHASHSEED values:
+        # hash()-derived keys would disagree here; fingerprints must not.
+        parent = [
+            build_model("tiny_cnn").fingerprint(),
+            f1_16xlarge().fingerprint(),
+            random_model(3).fingerprint(),
+        ]
+        assert _fingerprints_in_child("0") == parent
+        assert _fingerprints_in_child("4242") == parent

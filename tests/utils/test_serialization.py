@@ -117,6 +117,59 @@ class TestMappingRoundTrip:
             mapping_from_json(text, graph, topology, table2_designs()[:1])
 
 
+class TestFingerprintGuards:
+    """Renamed-but-different structures must not load silently."""
+
+    def test_fingerprints_are_recorded(self, mapping, graph, topology):
+        import json
+
+        data = json.loads(mapping_to_json(mapping))
+        assert data["workload_fingerprint"] == graph.fingerprint()
+        assert data["system_fingerprint"] == topology.fingerprint()
+
+    def test_same_name_different_graph_rejected(self, mapping, topology):
+        from repro.dnn.models.tiny import tiny_cnn
+
+        imposter = tiny_cnn(num_classes=12)  # same name, new structure
+        assert imposter.name == mapping.graph.name
+        with pytest.raises(ValueError, match="fingerprint") as excinfo:
+            mapping_from_json(
+                mapping_to_json(mapping), imposter, topology, table2_designs()
+            )
+        # The error names both digests, so the mismatch is diagnosable.
+        assert mapping.graph.fingerprint() in str(excinfo.value)
+        assert imposter.fingerprint() in str(excinfo.value)
+
+    def test_same_name_different_system_rejected(self, mapping, graph):
+        from dataclasses import replace
+
+        base = mapping.topology
+        links = list(base.links)
+        links[0] = replace(
+            links[0], bandwidth_bps=links[0].bandwidth_bps * 2
+        )
+        imposter = replace(base, links=links)  # same name, new link rates
+        with pytest.raises(ValueError, match="fingerprint") as excinfo:
+            mapping_from_json(
+                mapping_to_json(mapping), graph, imposter, table2_designs()
+            )
+        assert base.fingerprint() in str(excinfo.value)
+        assert imposter.fingerprint() in str(excinfo.value)
+
+    def test_legacy_payload_without_fingerprints_still_loads(
+        self, mapping, graph, topology
+    ):
+        import json
+
+        data = json.loads(mapping_to_json(mapping))
+        del data["workload_fingerprint"]
+        del data["system_fingerprint"]
+        restored = mapping_from_json(
+            json.dumps(data), graph, topology, table2_designs()
+        )
+        assert len(restored.assignments) == len(mapping.assignments)
+
+
 class TestSearchResultRoundTrip:
     def test_mars_result_survives_serialization(self, graph, topology):
         from repro.core.ga import GAConfig, SearchBudget
