@@ -32,6 +32,13 @@ REPORT_DIR = Path(__file__).parent / "reports"
 #: gitignored per-bench reports under ``benchmarks/reports/``).
 TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_hot_paths.json"
 
+#: The serving-load trajectory: p50/p99 latency, throughput and shed
+#: rate of the SLO frontend under the three traffic mixes of
+#: ``bench_serving.py``. Kept separate from the hot-path file because
+#: it tracks a different axis (traffic discipline, not kernel speed)
+#: and CI uploads it as its own artifact.
+SERVING_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_serving.json"
+
 
 def bench_workers() -> int:
     """GA evaluation workers for this run (``REPRO_BENCH_WORKERS``)."""
@@ -86,27 +93,30 @@ def emit_json(name: str, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
-def emit_trajectory(name: str, payload: dict) -> None:
-    """Merge one bench's headline numbers into ``BENCH_hot_paths.json``.
+def emit_trajectory(name: str, payload: dict, path: Path | None = None) -> None:
+    """Merge one bench's headline numbers into a repo-root trajectory.
 
-    The repo-root trajectory file accumulates the asserting hot-path
-    benches of a run (layer cache, warm sessions, batch decode) under
-    one key per bench. It is committed, so the repository carries its
-    current perf numbers; any bench run (including the CI smoke, in
-    its workspace) regenerates it in place — re-commit it when the
-    numbers move to keep the trajectory honest.
+    Defaults to ``BENCH_hot_paths.json``, which accumulates the
+    asserting hot-path benches of a run (layer cache, warm sessions,
+    batch decode) under one key per bench; the serving bench passes
+    :data:`SERVING_TRAJECTORY_PATH` to keep its traffic numbers in
+    ``BENCH_serving.json`` instead. Trajectory files are committed, so
+    the repository carries its current perf numbers; any bench run
+    (including the CI smoke, in its workspace) regenerates them in
+    place — re-commit when the numbers move to keep the trajectory
+    honest.
     """
+    if path is None:
+        path = TRAJECTORY_PATH
     data: dict = {}
-    if TRAJECTORY_PATH.exists():
+    if path.exists():
         try:
-            data = json.loads(TRAJECTORY_PATH.read_text())
+            data = json.loads(path.read_text())
         except (ValueError, OSError):
             data = {}
     data[name] = payload
     data["meta"] = run_metadata()
-    TRAJECTORY_PATH.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n"
-    )
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def search_budget() -> SearchBudget:

@@ -6,7 +6,9 @@ routes both objectives through a multi-tenant ``MultiModelSession``
 registry (the serving deployment shape: one warm session per tenant,
 LRU eviction beyond capacity), re-serves them through a 2-shard
 ``ShardedServing`` frontend (worker processes, sticky fingerprint
-placement, bit-identical results), searches with the throughput
+placement, bit-identical results), then through the SLO-aware
+``SloServing`` traffic layer (admission control, deadlines, EDF
+scheduling — still bit-identical), searches with the throughput
 objective (steady-state pipeline interval instead of single-input
 latency), reads the Section VI-B pattern evidence per source network,
 and renders the winning schedule as an ASCII Gantt chart plus a
@@ -21,7 +23,13 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import MappingEvaluator, MultiModelSession, ShardedServing
+from repro.core import (
+    MappingEvaluator,
+    MultiModelSession,
+    ShardedServing,
+    SloServing,
+    TrafficPolicy,
+)
 from repro.core.ga import GAConfig, SearchBudget
 from repro.dnn import build_model
 from repro.dnn.multi import combine_graphs, per_workload_ranges
@@ -107,6 +115,36 @@ def main() -> None:
             f"sharded serving: {stats.shards} shards "
             f"(tenant on shard {sharded.shard_of(combined)}), "
             f"{stats.searches} searches, results identical\n"
+        )
+
+    # Under load, the SLO-aware traffic layer fronts the same shards:
+    # per-tenant bounded queues shed overload with typed errors,
+    # deadlines expire stale requests before they waste a worker, and
+    # EDF runs the tightest deadline first. None of that changes what a
+    # search finds — only when it runs.
+    policy = TrafficPolicy(scheduling="edf", queue_depth=8)
+    with SloServing(
+        topology, shards=2, budget=BUDGET, capacity=4, policy=policy
+    ) as frontend:
+        futures = {
+            objective: frontend.submit(
+                combined,
+                seed=args.seed,
+                objective=objective,
+                deadline=300.0,  # generous SLO: both must complete
+            )
+            for objective in ("latency", "throughput")
+        }
+        for objective, future in futures.items():
+            assert (
+                future.result().latency_ms == results[objective].latency_ms
+            ), "the SLO frontend must be bit-identical to the registry"
+        stats = frontend.stats()
+        print(
+            f"slo serving: {stats.active_shards} shards, "
+            f"{stats.scheduling} scheduling, {stats.completed} completed, "
+            f"{stats.shed} shed, {stats.expired} expired, "
+            f"results identical\n"
         )
 
     # Section VI-B pattern evidence, read per source network.

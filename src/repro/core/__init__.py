@@ -10,6 +10,7 @@ the entry point; the submodules expose each piece for direct use:
 * :mod:`repro.core.ga` — the two-level genetic algorithm (Fig. 3).
 * :mod:`repro.core.session` — warm-search sessions for server workloads.
 * :mod:`repro.core.serving` — the multi-tenant session registry.
+* :mod:`repro.core.frontend` — the SLO-aware async traffic layer.
 * :mod:`repro.core.baselines` — comparison mappers.
 """
 
@@ -25,6 +26,15 @@ from repro.core.formulation import (
     LayerRange,
     Mapping,
     SetAssignment,
+)
+from repro.core.frontend import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ServerSaturated,
+    SloServing,
+    SloServingStats,
+    TenantQueueFull,
+    TrafficPolicy,
 )
 from repro.core.mapper import Mars, MarsResult
 from repro.core.serving import (
@@ -50,6 +60,8 @@ from repro.core.strategy_space import (
 
 __all__ = [
     "AcceleratorSet",
+    "AdmissionRejected",
+    "DeadlineExceeded",
     "EvaluatorOptions",
     "LayerCacheStats",
     "LayerRange",
@@ -62,13 +74,18 @@ __all__ = [
     "MultiModelSession",
     "NO_PARALLELISM",
     "SearchConfig",
+    "ServerSaturated",
     "ServingStats",
     "ShardedServing",
     "ShardedServingStats",
+    "SloServing",
+    "SloServingStats",
     "ParallelismStrategy",
     "SessionStats",
     "SetAssignment",
     "ShardingPlan",
+    "TenantQueueFull",
+    "TrafficPolicy",
     "cached_sharding_plan",
     "enumerate_strategies",
     "feasible_strategies",

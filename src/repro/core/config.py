@@ -41,6 +41,16 @@ DEFAULT_CAPACITY = 8
 #: Default LRU bound of a session's cross-search sub-problem cache.
 DEFAULT_SUBPROBLEM_CAPACITY = 4096
 
+#: Default per-tenant bound on queued (not yet dispatched) requests in
+#: the SLO frontend — requests beyond it are shed with
+#: :class:`~repro.core.frontend.TenantQueueFull`.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Default global bound on requests in flight (queued + running) across
+#: one SLO frontend — requests beyond it are shed with
+#: :class:`~repro.core.frontend.ServerSaturated`.
+DEFAULT_MAX_INFLIGHT = 512
+
 
 def _default_designs() -> tuple[AcceleratorDesign, ...]:
     return tuple(table2_designs())

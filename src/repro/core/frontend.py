@@ -1,0 +1,977 @@
+"""Async, SLO-aware serving frontend: admission control + deadlines.
+
+:class:`~repro.core.serving.ShardedServing` (PR 5) made searches
+concurrent across shard processes, but its traffic discipline is the
+simplest possible: one unbounded FIFO queue per shard, every request
+accepted, none ever given up on. That is the right shape for
+reproducing the paper's tables and the wrong shape for the multi-DNN
+serving setting the roadmap targets — heterogeneous workloads with
+per-model SLOs contending for shared accelerators (the multi-DNN
+survey's framing), where a frontend must *refuse* work it cannot
+finish in time and *order* the work it accepts by urgency.
+
+:class:`SloServing` is that traffic layer, built on the same shard
+worker pool:
+
+* **Admission control** — per-tenant queues are bounded
+  (``queue_depth``) and the whole frontend carries a global in-flight
+  budget (``max_inflight``). A request beyond either bound is shed at
+  :meth:`~SloServing.submit` with a typed
+  :class:`AdmissionRejected` subclass (:class:`TenantQueueFull` /
+  :class:`ServerSaturated`) instead of growing an unbounded backlog.
+* **Deadline-aware scheduling** — requests carry an optional relative
+  ``deadline`` (seconds). Each shard's dispatcher picks
+  **earliest-deadline-first** across the tenant queues assigned to it
+  (:func:`dispatch_key` is the total order: deadline, then arrival
+  sequence; no-deadline requests sort last, FIFO among themselves),
+  and a request whose deadline passes before dispatch resolves
+  immediately with :class:`DeadlineExceeded` — the search is never
+  run. ``TrafficPolicy(scheduling="fifo")`` keeps the PR-5-compatible
+  per-shard arrival order instead.
+* **Awaitable submission** — :meth:`~SloServing.submit` returns a
+  :class:`concurrent.futures.Future`;
+  :meth:`~SloServing.search_async` is the asyncio spelling
+  (``await``-able, so an async gateway can multiplex thousands of
+  requests over one frontend).
+* **Shard autoscaling** — the frontend spawns up to ``max_shards``
+  workers and drains back to ``shards`` on sustained queue depth /
+  idleness (:class:`TrafficPolicy` thresholds), reusing the shard
+  pool's spawn/drain machinery. Placement re-hashes over the active
+  shard count: results never depend on which shard serves a tenant
+  (every worker rebuilds the same content-addressed registry), so
+  scaling is results-invisible and only moves warm caches.
+
+Whatever the discipline decides, every *dispatched* search is served
+by the same worker protocol as ``ShardedServing`` — including the
+interned-graph handshake (a workload's graph is pickled to a shard at
+most once per worker incarnation) and the bounded crash-respawn /
+inline-fallback policy — and is **bit-identical** to a fresh
+:class:`~repro.core.mapper.Mars` run with the same configuration and
+seed (property-tested in ``tests/core/test_frontend.py`` under
+concurrency, shard kills and autoscale events).
+
+>>> from repro.core.frontend import SloServing
+>>> from repro.dnn import build_model
+>>> from repro.system import f1_16xlarge
+>>> with SloServing(f1_16xlarge(), shards=2) as frontend:
+...     future = frontend.submit(
+...         build_model("tiny_cnn"), seed=0, deadline=0.5
+...     )
+...     result = future.result()  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.core.config import (
+    DEFAULT_CAPACITY,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SUBPROBLEM_CAPACITY,
+    SearchConfig,
+)
+from repro.core.evaluator import EvaluatorOptions
+from repro.core.ga.level1 import SearchBudget
+from repro.core.serving import (
+    _LIVE_FRONTENDS,
+    ServingStats,
+    _ShardHandle,
+    _ShardPool,
+)
+from repro.core.session import MarsResult
+from repro.dnn.graph import ComputationGraph
+from repro.system.topology import SystemTopology
+from repro.utils.rng import stable_seed
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "ServerSaturated",
+    "SloServing",
+    "SloServingStats",
+    "TenantQueueFull",
+    "TrafficPolicy",
+    "dispatch_key",
+]
+
+
+class AdmissionRejected(RuntimeError):
+    """Base of the admission-control rejections.
+
+    Raised synchronously by :meth:`SloServing.submit` when accepting
+    the request would breach a queue bound — the request is *shed*, no
+    future is created, and the caller decides whether to retry,
+    degrade, or surface the overload. Catch this base to handle both
+    shedding causes uniformly.
+    """
+
+
+class TenantQueueFull(AdmissionRejected):
+    """The request's tenant already has ``queue_depth`` requests queued."""
+
+
+class ServerSaturated(AdmissionRejected):
+    """The frontend's global in-flight budget (``max_inflight``) is spent."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline passed before its search was dispatched.
+
+    Delivered through the request's future — never raised by
+    :meth:`SloServing.submit` itself (a dead-on-arrival deadline still
+    returns a future, already resolved with this exception, so every
+    admitted request is handled through exactly one channel).
+    """
+
+
+def dispatch_key(deadline: float | None, seq: int) -> tuple[float, int]:
+    """The EDF total order: ``(deadline, arrival seq)``.
+
+    A pure function — given the same (deadline, sequence) pairs, the
+    dispatch order is identical on every run, machine and shard count
+    (property-tested). No-deadline requests sort after every deadlined
+    one (``+inf``) and FIFO among themselves; ties on deadline break by
+    arrival order, so the order is always total.
+    """
+    return (deadline if deadline is not None else math.inf, seq)
+
+
+@dataclass(frozen=True)
+class TrafficPolicy:
+    """Admission, scheduling and autoscaling knobs of a :class:`SloServing`.
+
+    Attributes:
+        scheduling: ``"edf"`` (earliest-deadline-first across tenant
+            queues, the default) or ``"fifo"`` (per-shard arrival
+            order — the :class:`~repro.core.serving.ShardedServing`-
+            compatible discipline). Deadline *expiry* and admission
+            bounds apply in both modes; only the dispatch order
+            differs.
+        queue_depth: Per-tenant bound on queued (not yet dispatched)
+            requests; the next submit for that tenant sheds with
+            :class:`TenantQueueFull`.
+        max_inflight: Global bound on requests queued + running across
+            the frontend; beyond it submits shed with
+            :class:`ServerSaturated`. ``None`` disables the budget.
+        scale_up_depth: Queued requests *per active shard* above which
+            the autoscaler wants another shard.
+        scale_up_ticks: Consecutive over-threshold ticks before a
+            scale-up actually happens (guards against bursts).
+        scale_down_ticks: Consecutive fully-idle ticks before an extra
+            shard is drained back down.
+        tick_seconds: The autoscaler's sampling period (also the
+            dispatchers' park timeout).
+    """
+
+    scheduling: str = "edf"
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    max_inflight: int | None = DEFAULT_MAX_INFLIGHT
+    scale_up_depth: int = 4
+    scale_up_ticks: int = 2
+    scale_down_ticks: int = 40
+    tick_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        require(
+            self.scheduling in ("edf", "fifo"),
+            f"scheduling must be 'edf' or 'fifo', got {self.scheduling!r}",
+        )
+        require_positive(self.queue_depth, "queue_depth")
+        if self.max_inflight is not None:
+            require_positive(self.max_inflight, "max_inflight")
+        require_positive(self.scale_up_depth, "scale_up_depth")
+        require_positive(self.scale_up_ticks, "scale_up_ticks")
+        require_positive(self.scale_down_ticks, "scale_down_ticks")
+        require_positive(self.tick_seconds, "tick_seconds")
+
+
+class _Request:
+    """One queued search: payload, deadline, and its caller-held future."""
+
+    __slots__ = (
+        "seq",
+        "graph",
+        "seed",
+        "topology",
+        "objective",
+        "deadline",
+        "future",
+        "submitted_at",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        graph: ComputationGraph,
+        seed: int,
+        topology: SystemTopology | None,
+        objective: str | None,
+        deadline: float | None,
+        future: "Future[MarsResult]",
+        submitted_at: float,
+    ) -> None:
+        self.seq = seq
+        self.graph = graph
+        self.seed = seed
+        self.topology = topology
+        self.objective = objective
+        #: Absolute deadline on the frontend's clock (None = none).
+        self.deadline = deadline
+        self.future = future
+        self.submitted_at = submitted_at
+
+
+class _TenantQueue:
+    """One tenant's pending requests plus its stable placement slot."""
+
+    __slots__ = ("slot", "requests")
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.requests: deque[_Request] = deque()
+
+
+@dataclass(frozen=True)
+class SloServingStats:
+    """Traffic counters of a :class:`SloServing` frontend.
+
+    The lifecycle identity — every submit is accounted for exactly
+    once —
+
+    ``submitted == completed + failed + shed + expired + cancelled
+    + queued + running``
+
+    holds at every instant (counters move under one lock), and after a
+    drain (``close()`` or quiescence) the in-flight terms are zero.
+    """
+
+    #: The dispatch discipline in force (``"edf"`` or ``"fifo"``).
+    scheduling: str
+    #: The floor / ceiling / current number of serving shards.
+    min_shards: int
+    max_shards: int
+    active_shards: int
+    #: Every ``submit()`` call, including shed and dead-on-arrival ones.
+    submitted: int
+    #: Requests refused at admission (:class:`AdmissionRejected`).
+    shed: int
+    #: Requests resolved with :class:`DeadlineExceeded` before dispatch.
+    expired: int
+    #: Requests resolved with a search result.
+    completed: int
+    #: Requests resolved with a worker-raised exception.
+    failed: int
+    #: Requests whose future was cancelled while still queued.
+    cancelled: int
+    #: Requests currently queued, and currently running on a shard.
+    queued: int
+    running: int
+    #: Autoscaling events over the frontend's lifetime.
+    scale_ups: int
+    scale_downs: int
+    #: Crash-triggered worker respawns across shards.
+    respawns: int
+    #: Full-graph payloads / fingerprint-only requests shipped per
+    #: shard (the interned-graph handshake's ledger).
+    graph_ships: tuple[int, ...]
+    fp_sends: tuple[int, ...]
+    #: Shard registries' own counters (None for a shard that is
+    #: drained, never spawned, or crash-retired).
+    per_shard: tuple[ServingStats | None, ...] = ()
+    #: The inline fallback registry's counters, if it ever engaged.
+    fallback: ServingStats | None = None
+
+    @property
+    def in_flight(self) -> int:
+        return self.queued + self.running
+
+    @property
+    def resolved(self) -> int:
+        """Requests whose future has been resolved, any way at all."""
+        return self.completed + self.failed + self.expired + self.cancelled
+
+    @property
+    def shed_rate(self) -> float:
+        """Sheds + expiries as a fraction of everything submitted."""
+        if not self.submitted:
+            return 0.0
+        return (self.shed + self.expired) / self.submitted
+
+
+class SloServing(_ShardPool):
+    """An async, SLO-aware sharded serving frontend.
+
+    The traffic layer over the shard worker pool: bounded per-tenant
+    queues, a global in-flight budget, deadline-aware (EDF) or FIFO
+    dispatch, pre-dispatch deadline expiry, and demand-driven shard
+    autoscaling between ``shards`` and ``max_shards``. See the module
+    docstring for the discipline; construction mirrors
+    :class:`~repro.core.serving.ShardedServing` plus:
+
+    Args:
+        shards: The shard floor — workers spawned immediately.
+        max_shards: The ceiling autoscaling may grow to (default: equal
+            to ``shards``, i.e. autoscaling off). Extra shards spawn on
+            demand and drain back when idle.
+        policy: The :class:`TrafficPolicy` (admission bounds,
+            scheduling discipline, autoscale thresholds).
+        clock: Monotonic time source for deadlines (injectable for
+            deterministic tests). Deadlines passed to :meth:`submit`
+            are *relative seconds* on this clock.
+
+    Lifecycle: :meth:`close` stops admission (further submits raise
+    :class:`RuntimeError`), lets every queued request resolve — by
+    completing, or by expiring if its deadline passes first — then
+    shuts workers down. :meth:`suspend` / :meth:`resume` gate dispatch
+    without touching admission (an operator drain/pause knob; also how
+    the tests freeze a queue to inspect scheduling order).
+    """
+
+    DEFAULT_SHARDS = 2
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        shards: int = DEFAULT_SHARDS,
+        max_shards: int | None = None,
+        config: SearchConfig | None = None,
+        policy: TrafficPolicy | None = None,
+        mp_context: str = "spawn",
+        clock: Callable[[], float] = time.monotonic,
+        designs: list[AcceleratorDesign] | None = None,
+        budget: SearchBudget | None = None,
+        options: EvaluatorOptions | None = None,
+        objective: str = "latency",
+        workers: int | None = None,
+        cache: bool | None = None,
+        layer_cache: bool | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+    ) -> None:
+        require_positive(shards, "shards")
+        if max_shards is None:
+            max_shards = shards
+        require(
+            max_shards >= shards,
+            f"max_shards ({max_shards}) must be >= shards ({shards})",
+        )
+        if config is None:
+            config = SearchConfig.from_kwargs(
+                designs=designs,
+                budget=budget,
+                options=options,
+                objective=objective,
+                workers=workers,
+                cache=cache,
+                layer_cache=layer_cache,
+                capacity=capacity,
+                subproblem_capacity=subproblem_capacity,
+            )
+        super().__init__(topology, max_shards, config, mp_context)
+        self.min_shards = shards
+        self.max_shards = max_shards
+        self.policy = policy if policy is not None else TrafficPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queues: dict[tuple, _TenantQueue] = {}
+        self._controls: list[deque] = [deque() for _ in range(max_shards)]
+        self._seq = 0
+        self._queued = 0
+        self._running = 0
+        self._submitted = 0
+        self._shed = 0
+        self._expired = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._active = shards
+        self._closing = False
+        self._dispatch_enabled = threading.Event()
+        self._dispatch_enabled.set()
+        self._stop_event = threading.Event()
+        self._monitor: threading.Thread | None = None
+        try:
+            for handle in self._handles:
+                if handle.index < shards:
+                    self._spawn_worker(handle)
+                else:
+                    # Above the floor: spawned on demand by autoscaling.
+                    handle.drained = True
+            for handle in self._handles:
+                handle.thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(handle,),
+                    name=f"slo-shard-{handle.index}-dispatch",
+                    daemon=True,
+                )
+                handle.thread.start()
+            if max_shards > shards:
+                self._monitor = threading.Thread(
+                    target=self._autoscale_loop,
+                    name="slo-autoscale",
+                    daemon=True,
+                )
+                self._monitor.start()
+        except BaseException:
+            # Same contract as ShardedServing: a partial spawn must not
+            # orphan non-daemonic workers already started.
+            with self._work:
+                self._closed = True
+                self._closing = True
+                self._work.notify_all()
+            self._stop_event.set()
+            for handle in self._handles:
+                if handle.thread is not None:
+                    handle.thread.join()
+                elif handle.process is not None:
+                    self._shutdown_worker(handle)
+            raise
+        _LIVE_FRONTENDS.add(self)
+
+    @classmethod
+    def from_config(
+        cls,
+        topology: SystemTopology,
+        config: SearchConfig,
+        shards: int = DEFAULT_SHARDS,
+        max_shards: int | None = None,
+        policy: TrafficPolicy | None = None,
+        mp_context: str = "spawn",
+    ) -> "SloServing":
+        """Build a frontend from a canonical config bundle."""
+        return cls(
+            topology,
+            shards=shards,
+            max_shards=max_shards,
+            config=config,
+            policy=policy,
+            mp_context=mp_context,
+        )
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _tenant_key(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology,
+        objective: str,
+    ) -> tuple:
+        return (graph.fingerprint(), topology.fingerprint(), objective)
+
+    def shard_of(
+        self,
+        graph: ComputationGraph,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+    ) -> int:
+        """The shard currently serving this tenant.
+
+        Derived like :meth:`ShardedServing.shard_of` (same
+        ``"shard-placement"`` content hash — at equal shard counts the
+        two frontends place identically), but modulo the *active*
+        shard count, so the answer can move when autoscaling changes
+        it. Results never depend on placement; only cache warmth does.
+        """
+        topology = topology if topology is not None else self.topology
+        objective = (
+            objective if objective is not None else self.config.objective
+        )
+        with self._lock:
+            return (
+                stable_seed(
+                    "shard-placement", *self._tenant_key(graph, topology, objective)
+                )
+                % self._active
+            )
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        graph: ComputationGraph,
+        seed: int = 0,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+        deadline: float | None = None,
+    ) -> "Future[MarsResult]":
+        """Queue one search, subject to admission control.
+
+        ``deadline`` is relative seconds on the frontend's clock; a
+        request still queued when it elapses resolves with
+        :class:`DeadlineExceeded` without ever dispatching (a deadline
+        already in the past resolves that way immediately). A request
+        breaching the tenant queue bound or the global in-flight
+        budget raises :class:`TenantQueueFull` /
+        :class:`ServerSaturated` here, synchronously — shed work never
+        produces a future. Raises :class:`RuntimeError` after
+        :meth:`close`.
+        """
+        resolved_topology = topology if topology is not None else self.topology
+        resolved_objective = (
+            objective if objective is not None else self.config.objective
+        )
+        future: "Future[MarsResult]" = Future()
+        now = self._clock()
+        absolute = now + deadline if deadline is not None else None
+        dead_on_arrival = False
+        with self._work:
+            self._require_open()
+            self._submitted += 1
+            if absolute is not None and absolute <= now:
+                self._expired += 1
+                dead_on_arrival = True
+            else:
+                policy = self.policy
+                if (
+                    policy.max_inflight is not None
+                    and self._queued + self._running >= policy.max_inflight
+                ):
+                    self._shed += 1
+                    raise ServerSaturated(
+                        f"in-flight budget spent: {self._queued} queued + "
+                        f"{self._running} running >= {policy.max_inflight}"
+                    )
+                key = self._tenant_key(
+                    graph, resolved_topology, resolved_objective
+                )
+                tenant = self._queues.get(key)
+                if tenant is None:
+                    tenant = _TenantQueue(slot=stable_seed("shard-placement", *key))
+                    self._queues[key] = tenant
+                if len(tenant.requests) >= policy.queue_depth:
+                    self._shed += 1
+                    raise TenantQueueFull(
+                        f"tenant {graph.name!r} already has "
+                        f"{len(tenant.requests)} requests queued "
+                        f"(queue_depth={policy.queue_depth})"
+                    )
+                tenant.requests.append(
+                    _Request(
+                        seq=self._seq,
+                        graph=graph,
+                        seed=seed,
+                        topology=topology,
+                        objective=resolved_objective,
+                        deadline=absolute,
+                        future=future,
+                        submitted_at=now,
+                    )
+                )
+                self._seq += 1
+                self._queued += 1
+                self._work.notify_all()
+        if dead_on_arrival:
+            future.set_exception(
+                DeadlineExceeded(
+                    f"deadline {deadline!r}s elapsed before submission"
+                )
+            )
+        return future
+
+    def search(
+        self,
+        graph: ComputationGraph,
+        seed: int = 0,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+        deadline: float | None = None,
+    ) -> MarsResult:
+        """Blocking :meth:`submit` — route one search and wait for it."""
+        return self.submit(
+            graph,
+            seed=seed,
+            topology=topology,
+            objective=objective,
+            deadline=deadline,
+        ).result()
+
+    async def search_async(
+        self,
+        graph: ComputationGraph,
+        seed: int = 0,
+        topology: SystemTopology | None = None,
+        objective: str | None = None,
+        deadline: float | None = None,
+    ) -> MarsResult:
+        """Awaitable :meth:`submit` for asyncio gateways.
+
+        Admission rejections raise inside the coroutine like any other
+        awaited failure; :class:`DeadlineExceeded` arrives through the
+        await. The coroutine holds no thread while waiting — thousands
+        can multiplex over one frontend on one event loop.
+        """
+        return await asyncio.wrap_future(
+            self.submit(
+                graph,
+                seed=seed,
+                topology=topology,
+                objective=objective,
+                deadline=deadline,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Operator knobs
+    # ------------------------------------------------------------------
+
+    def suspend(self) -> None:
+        """Pause dispatch (admission continues; queues deepen).
+
+        The operator drain/pause knob — and how tests freeze the queue
+        to build a deterministic backlog. Deadline expiry still applies
+        when dispatch resumes; :meth:`close` overrides a suspension so
+        shutdown always drains.
+        """
+        self._dispatch_enabled.clear()
+
+    def resume(self) -> None:
+        """Resume dispatch after :meth:`suspend`."""
+        self._dispatch_enabled.set()
+        with self._work:
+            self._work.notify_all()
+
+    def scale_to(self, shards: int) -> None:
+        """Set the active shard count (autoscaling does this on its own).
+
+        Clamped to ``[1, max_shards]`` by validation — raises outside
+        it. Scaling up puts parked shards back in rotation (their
+        workers spawn on first demand); scaling down re-hashes the
+        drained shards' tenants onto the remaining ones and their
+        workers shut down once idle. Results are identical at any
+        scale; only warm-cache locality moves.
+        """
+        require(
+            1 <= shards <= self.max_shards,
+            f"shards must be in [1, {self.max_shards}], got {shards}",
+        )
+        with self._work:
+            self._require_open()
+            if shards == self._active:
+                return
+            if shards > self._active:
+                self._scale_ups += 1
+            else:
+                self._scale_downs += 1
+            self._active = shards
+            self._work.notify_all()
+
+    @property
+    def active_shards(self) -> int:
+        """Shards currently in rotation (moves with autoscaling)."""
+        with self._lock:
+            return self._active
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _assigned(self, tenant: _TenantQueue, index: int) -> bool:
+        return tenant.slot % self._active == index
+
+    def _pop_request(
+        self, index: int, to_expire: list[_Request], now: float
+    ) -> _Request | None:
+        """Pick shard ``index``'s next request; cull expired ones.
+
+        Expired requests (deadline < now) are removed wherever they sit
+        in their queues and collected for resolution outside the lock.
+        Among the survivors the head of each assigned tenant queue
+        competes under :func:`dispatch_key` (EDF) or plain arrival
+        order (FIFO). Within one tenant queue arrival order and EDF
+        order coincide (a queue is FIFO per tenant), so heads suffice.
+        """
+        best: _Request | None = None
+        best_tenant: _TenantQueue | None = None
+        for tenant in self._queues.values():
+            if not tenant.requests or not self._assigned(tenant, index):
+                continue
+            alive = deque()
+            for request in tenant.requests:
+                if request.deadline is not None and request.deadline <= now:
+                    to_expire.append(request)
+                    self._expired += 1
+                    self._queued -= 1
+                else:
+                    alive.append(request)
+            tenant.requests = alive
+            if not tenant.requests:
+                continue
+            if self.policy.scheduling == "edf":
+                head = min(
+                    tenant.requests,
+                    key=lambda r: dispatch_key(r.deadline, r.seq),
+                )
+            else:
+                head = tenant.requests[0]
+            if best is None or self._precedes(head, best):
+                best, best_tenant = head, tenant
+        if best is not None:
+            best_tenant.requests.remove(best)
+            self._queued -= 1
+            self._running += 1
+        if to_expire:
+            # Expiry changes the in-flight accounting drain() waits on.
+            self._work.notify_all()
+        return best
+
+    def _precedes(self, a: _Request, b: _Request) -> bool:
+        if self.policy.scheduling == "edf":
+            return dispatch_key(a.deadline, a.seq) < dispatch_key(
+                b.deadline, b.seq
+            )
+        return a.seq < b.seq
+
+    def _dispatch_loop(self, handle: _ShardHandle) -> None:
+        index = handle.index
+        tick = self.policy.tick_seconds
+        while True:
+            to_expire: list[_Request] = []
+            request: _Request | None = None
+            control: Future | None = None
+            drain_worker = False
+            finished = False
+            with self._work:
+                while True:
+                    if self._controls[index]:
+                        control = self._controls[index].popleft()
+                        break
+                    if self._dispatch_enabled.is_set() or self._closing:
+                        request = self._pop_request(
+                            index, to_expire, self._clock()
+                        )
+                        if request is not None or to_expire:
+                            break
+                    if self._closing:
+                        finished = True
+                        break
+                    if (
+                        index >= self._active
+                        and handle.alive
+                        and not handle.drained
+                    ):
+                        drain_worker = True
+                        break
+                    self._work.wait(timeout=tick)
+            for expired in to_expire:
+                expired.future.set_exception(
+                    DeadlineExceeded(
+                        "deadline elapsed before dispatch "
+                        f"(request #{expired.seq})"
+                    )
+                )
+            if control is not None:
+                self._serve_control(handle, control)
+                continue
+            if drain_worker:
+                # Scaled below this slot: give the worker back. The
+                # handle stays drained, so a later scale-up (or a
+                # misrouted late request) respawns it on demand.
+                self._shutdown_worker(handle)
+                handle.drained = True
+                continue
+            if finished:
+                self._shutdown_worker(handle)
+                return
+            if request is not None:
+                self._serve(handle, request)
+
+    def _serve(self, handle: _ShardHandle, request: _Request) -> None:
+        if not request.future.set_running_or_notify_cancel():
+            with self._work:
+                self._running -= 1
+                self._cancelled += 1
+            return
+        try:
+            status, payload = self._roundtrip(
+                handle,
+                (
+                    "search",
+                    request.graph,
+                    request.seed,
+                    request.topology,
+                    request.objective,
+                ),
+            )
+        except BaseException as exc:  # frontend-side failure
+            status, payload = "error", exc
+        with self._work:
+            self._running -= 1
+            if status == "error":
+                self._failed += 1
+            else:
+                self._completed += 1
+            self._work.notify_all()
+        if status == "error":
+            request.future.set_exception(payload)
+        else:
+            request.future.set_result(payload)
+
+    def _serve_control(self, handle: _ShardHandle, future: Future) -> None:
+        """Answer a stats probe for this shard (None when drained)."""
+        if not handle.alive:
+            future.set_result(None)
+            return
+        try:
+            status, payload = self._roundtrip(handle, ("stats",))
+        except BaseException as exc:
+            future.set_exception(exc)
+            return
+        future.set_result(payload if status == "stats" else None)
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+
+    def _autoscale_loop(self) -> None:
+        """Grow on sustained backlog, shrink on sustained idleness.
+
+        Pure policy — the mechanism is :meth:`scale_to`'s bookkeeping
+        plus the dispatchers' on-demand worker spawn/drain. Thresholds
+        come from :class:`TrafficPolicy`; both directions require the
+        condition to hold for several consecutive ticks so bursts and
+        gaps don't thrash the shard count.
+        """
+        policy = self.policy
+        over = idle = 0
+        while not self._stop_event.wait(policy.tick_seconds):
+            with self._work:
+                if self._closing:
+                    return
+                depth = self._queued
+                if (
+                    depth > policy.scale_up_depth * self._active
+                    and self._active < self.max_shards
+                ):
+                    over += 1
+                    if over >= policy.scale_up_ticks:
+                        self._active += 1
+                        self._scale_ups += 1
+                        over = 0
+                        self._work.notify_all()
+                else:
+                    over = 0
+                if (
+                    depth == 0
+                    and self._running == 0
+                    and self._active > self.min_shards
+                ):
+                    idle += 1
+                    if idle >= policy.scale_down_ticks:
+                        self._active -= 1
+                        self._scale_downs += 1
+                        idle = 0
+                        self._work.notify_all()
+                else:
+                    idle = 0
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self, worker_stats: bool = False) -> SloServingStats:
+        """Traffic counters; optionally the shard registries' too.
+
+        ``worker_stats=True`` round-trips a stats probe to every live
+        shard worker (probes jump the request queues). The default
+        reads only frontend-side counters — safe to call at any rate.
+        """
+        per_shard: tuple[ServingStats | None, ...] = ()
+        if worker_stats:
+            with self._work:
+                self._require_open()
+                probes = []
+                for index in range(self.max_shards):
+                    probe: Future = Future()
+                    self._controls[index].append(probe)
+                    probes.append(probe)
+                self._work.notify_all()
+            per_shard = tuple(probe.result() for probe in probes)
+        with self._work:
+            return SloServingStats(
+                scheduling=self.policy.scheduling,
+                min_shards=self.min_shards,
+                max_shards=self.max_shards,
+                active_shards=self._active,
+                submitted=self._submitted,
+                shed=self._shed,
+                expired=self._expired,
+                completed=self._completed,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                queued=self._queued,
+                running=self._running,
+                scale_ups=self._scale_ups,
+                scale_downs=self._scale_downs,
+                respawns=sum(h.respawns for h in self._handles),
+                graph_ships=tuple(h.graph_ships for h in self._handles),
+                fp_sends=tuple(h.fp_sends for h in self._handles),
+                per_shard=per_shard,
+                fallback=self._fallback_stats(),
+            )
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until nothing is queued or running; True on success.
+
+        Admission stays open — this is a quiescence point, not a
+        shutdown. With a ``timeout`` (seconds) it gives up and returns
+        False once elapsed.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._work:
+            while self._queued or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._work.wait(timeout=remaining)
+            return True
+
+    def close(self) -> None:
+        """Stop admission, resolve every in-flight request, shut down.
+
+        Queued requests still dispatch (or expire, if their deadline
+        passes first) — no future is ever left unresolved. Overrides a
+        :meth:`suspend` in force, so shutdown always drains.
+        Idempotent; submits afterwards raise :class:`RuntimeError`.
+        """
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            self._closing = True
+            self._dispatch_enabled.set()
+            self._work.notify_all()
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join()
+        for handle in self._handles:
+            if handle.thread is not None:
+                handle.thread.join()
+        self._close_fallback()
+        _LIVE_FRONTENDS.discard(self)
+
+    def __enter__(self) -> "SloServing":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -450,13 +450,23 @@ def _shard_worker(
     """One shard process: a content-addressed registry behind a pipe.
 
     Requests arrive as tuples — ``("search", graph, seed, topology,
+    objective)``, ``("search_fp", fingerprint, seed, topology,
     objective)``, ``("stats",)`` or ``("shutdown",)`` — and every
     response is a ``(status, payload)`` pair. The registry is rebuilt
     from the shipped :class:`~repro.core.config.SearchConfig`, so a
     shard is configured bit-identically to the frontend that spawned it
     (and to any replacement spawned after a crash).
+
+    Interned-graph handshake: the first request for a workload ships
+    the full graph, which the worker interns under its content
+    fingerprint; every later request for the same workload ships the
+    fingerprint alone (``"search_fp"``), sparing the per-request graph
+    pickle. A fingerprint the worker does not know (the frontend raced
+    a respawn) answers ``("unknown_fp", fp)`` so the frontend re-ships
+    the full graph instead of failing the request.
     """
     registry = MultiModelSession.from_config(topology, config)
+    interned: dict[str, ComputationGraph] = {}
     try:
         while True:
             try:
@@ -473,7 +483,15 @@ def _shard_worker(
             if kind == "stats":
                 conn.send(("stats", registry.stats()))
                 continue
-            _, graph, seed, topology_override, objective = message
+            if kind == "search_fp":
+                _, fp, seed, topology_override, objective = message
+                graph = interned.get(fp)
+                if graph is None:
+                    conn.send(("unknown_fp", fp))
+                    continue
+            else:
+                _, graph, seed, topology_override, objective = message
+                interned[graph.fingerprint()] = graph
             try:
                 result = registry.search(
                     graph,
@@ -501,6 +519,10 @@ class _ShardHandle:
         "respawns",
         "restarts",
         "submitted",
+        "interned",
+        "graph_ships",
+        "fp_sends",
+        "drained",
     )
 
     def __init__(self, index: int) -> None:
@@ -516,6 +538,20 @@ class _ShardHandle:
         self.restarts = 0
         #: Requests accepted for this shard by the frontend.
         self.submitted = 0
+        #: Graph fingerprints the *current* worker process has interned
+        #: — emptied whenever the worker is reaped, because a cold
+        #: replacement knows none of them.
+        self.interned: set[str] = set()
+        #: Full-graph payloads shipped to this shard (once per workload
+        #: per worker incarnation — the handshake's whole point).
+        self.graph_ships = 0
+        #: Fingerprint-only requests shipped (the pickles saved).
+        self.fp_sends = 0
+        #: True while the shard is deliberately drained by autoscaling
+        #: (distinguishes a scaled-down worker from a crashed one — a
+        #: drained shard respawns on demand instead of degrading to the
+        #: inline fallback).
+        self.drained = False
 
     @property
     def alive(self) -> bool:
@@ -545,6 +581,13 @@ class ShardedServingStats:
     submitted: tuple[int, ...]
     #: The inline fallback registry's counters, if it ever engaged.
     fallback: ServingStats | None
+    #: Full-graph payloads shipped per shard — at most one per
+    #: (workload, worker incarnation) thanks to the interned-graph
+    #: handshake.
+    graph_ships: tuple[int, ...] = ()
+    #: Fingerprint-only requests shipped per shard (graph pickles the
+    #: handshake saved).
+    fp_sends: tuple[int, ...] = ()
 
     @cached_property
     def merged(self) -> ServingStats:
@@ -603,7 +646,7 @@ class ShardedServingStats:
 #: hook below closes whatever is left at exit; it is registered after
 #: the ``multiprocessing`` import above, and atexit is LIFO, so it
 #: runs before multiprocessing joins its children.
-_LIVE_FRONTENDS: "set[ShardedServing]" = set()
+_LIVE_FRONTENDS: "set[_ShardPool]" = set()
 
 
 def _close_live_frontends() -> None:  # pragma: no cover - interpreter exit
@@ -614,7 +657,229 @@ def _close_live_frontends() -> None:  # pragma: no cover - interpreter exit
 atexit.register(_close_live_frontends)
 
 
-class ShardedServing:
+class _ShardPool:
+    """Shared machinery of multi-process serving frontends.
+
+    Owns the shard worker handles and everything about talking to
+    them: spawning and reaping worker processes, the crash policy
+    (bounded cold respawn + resend, then inline fallback), the
+    interned-graph handshake that ships each workload's full graph at
+    most once per worker incarnation, and the lazily-built inline
+    fallback registry. Subclasses add a *dispatch discipline* on top:
+    :class:`ShardedServing` runs one FIFO queue per shard;
+    :class:`repro.core.frontend.SloServing` runs per-tenant queues with
+    admission control and deadline-aware (EDF) scheduling.
+
+    Not a public API — construct one of the subclasses.
+    """
+
+    #: Crash-triggered cold respawns per shard before its traffic
+    #: degrades to the inline fallback registry.
+    SHARD_RESPAWN_LIMIT = 2
+
+    def __init__(
+        self,
+        topology: SystemTopology,
+        shards: int,
+        config: SearchConfig,
+        mp_context: str = "spawn",
+    ) -> None:
+        require_positive(shards, "shards")
+        #: The canonical config every shard worker rebuilds its
+        #: registry from.
+        self.config = config.canonical()
+        self.topology = topology
+        self.shards = shards
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._closed = False
+        self._fallback: MultiModelSession | None = None
+        self._fallback_lock = threading.Lock()
+        self._handles = [_ShardHandle(index) for index in range(shards)]
+
+    def _require_open(self) -> None:
+        """Raise a clean :class:`RuntimeError` once the frontend is
+        closed — routing on a closed frontend is a lifecycle bug in the
+        caller, not an invalid argument."""
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; it no longer accepts "
+                "requests"
+            )
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, handle: _ShardHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        # NOT daemonic: a daemonic worker could never start children of
+        # its own, which is exactly what a tenant session configured
+        # with ``workers > 1`` does (its level-2 GA process pool).
+        # Orphan safety comes from the module atexit hook instead: any
+        # frontend still open at interpreter exit is closed (workers
+        # ack and exit) before multiprocessing's own child join runs.
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, self.topology, self.config),
+            name=f"repro-shard-{handle.index}",
+        )
+        try:
+            process.start()
+        except BaseException:
+            # Failed starts happen under fd/PID pressure — the exact
+            # moment leaking the pipe's two descriptors hurts most.
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()
+        handle.interned.clear()  # a cold worker has interned nothing
+        handle.drained = False
+        handle.process = process
+        handle.conn = parent_conn
+
+    def _reap_worker(self, handle: _ShardHandle) -> None:
+        """Best-effort teardown of a dead or dying worker process."""
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+        if handle.process is not None:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            handle.process = None
+        # Whatever the old worker had interned died with it.
+        handle.interned.clear()
+
+    def _shutdown_worker(self, handle: _ShardHandle) -> None:
+        """Graceful worker shutdown: ask, wait for the ack, reap."""
+        if handle.process is None:
+            return
+        try:
+            handle.conn.send(("shutdown",))
+            handle.conn.poll(30)
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self._reap_worker(handle)
+
+    def _restart_worker(self, handle: _ShardHandle) -> None:
+        """Operator-requested cold restart (doesn't count as a crash)."""
+        self._shutdown_worker(handle)
+        handle.restarts += 1
+        self._spawn_worker(handle)
+
+    # ------------------------------------------------------------------
+    # Request round-trip (crash policy + interned-graph handshake)
+    # ------------------------------------------------------------------
+
+    def _wire_request(self, handle: _ShardHandle, request: tuple) -> tuple:
+        """The message actually sent: fingerprint-only when interned.
+
+        The first ``"search"`` for a workload ships the full graph and
+        records its fingerprint against the worker incarnation; later
+        requests collapse to ``("search_fp", fp, ...)`` — the graph is
+        never pickled twice for one worker. Reaping a worker clears its
+        interned set, so a cold replacement is re-shipped the graph.
+        """
+        if request[0] != "search":
+            return request
+        _, graph, seed, topology, objective = request
+        fp = graph.fingerprint()
+        if fp in handle.interned:
+            handle.fp_sends += 1
+            return ("search_fp", fp, seed, topology, objective)
+        handle.interned.add(fp)
+        handle.graph_ships += 1
+        return request
+
+    def _roundtrip(self, handle: _ShardHandle, request: tuple) -> tuple:
+        """Send one request to the shard worker; apply the crash policy.
+
+        A broken pipe means the worker died mid-request: reap it and —
+        up to :attr:`SHARD_RESPAWN_LIMIT` times — replace it cold and
+        re-send the request (results are identical, the rebuilt
+        registry just starts with cold caches). Beyond the limit the
+        shard serves inline through the fallback registry. A worker
+        answering ``unknown_fp`` (it raced a respawn) is re-shipped the
+        full graph.
+        """
+        while True:
+            if not handle.alive:
+                if handle.drained:
+                    # Deliberately scaled down, not crashed: bring the
+                    # worker back on demand. A failed spawn falls
+                    # through to the crash paths below.
+                    try:
+                        self._spawn_worker(handle)
+                    except Exception:
+                        handle.drained = False
+                        return self._serve_inline(request)
+                else:
+                    return self._serve_inline(request)
+            try:
+                handle.conn.send(self._wire_request(handle, request))
+                response = handle.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                self._reap_worker(handle)
+                if handle.respawns < self.SHARD_RESPAWN_LIMIT:
+                    handle.respawns += 1
+                    try:
+                        self._spawn_worker(handle)
+                    except Exception:
+                        # Respawn itself failed (resource exhaustion):
+                        # leave the handle dead so the next loop serves
+                        # this request inline, like any other dead-shard
+                        # path — the caller still gets its result.
+                        pass
+                # else: handle stays dead; next iteration serves inline.
+                continue
+            if response[0] == "unknown_fp":
+                handle.interned.discard(response[1])
+                continue
+            return response
+
+    def _serve_inline(self, request: tuple) -> tuple:
+        """Serve a request in-process after a shard exhausted respawns.
+
+        The fallback registry is built lazily from the same config the
+        workers got, so results stay bit-identical — this is the
+        sharded analogue of a retired worker pool converging to the
+        serial path.
+        """
+        if request[0] == "stats":
+            # Shard-level stats are gone with the worker; the fallback
+            # registry reports separately under ``fallback``.
+            return ("stats", None)
+        _, graph, seed, topology, objective = request
+        try:
+            with self._fallback_lock:
+                if self._fallback is None:
+                    self._fallback = MultiModelSession.from_config(
+                        self.topology, self.config
+                    )
+                result = self._fallback.search(
+                    graph, seed=seed, topology=topology, objective=objective
+                )
+            return ("ok", result)
+        except Exception as exc:
+            return ("error", exc)
+
+    def _fallback_stats(self) -> ServingStats | None:
+        with self._fallback_lock:
+            if self._fallback is None:
+                return None
+            return self._fallback.stats()
+
+    def _close_fallback(self) -> None:
+        with self._fallback_lock:
+            if self._fallback is not None:
+                self._fallback.close()
+
+
+class ShardedServing(_ShardPool):
     """A sharded, multi-process mapping-service frontend.
 
     Spawns ``shards`` worker processes, each hosting one
@@ -642,7 +907,8 @@ class ShardedServing:
 
     Lifecycle: :meth:`close` (or context-manager exit) drains — every
     request submitted before the close completes, then workers shut
-    down cleanly. :meth:`submit` after close raises.
+    down cleanly. :meth:`submit` after close raises a clean
+    :class:`RuntimeError` (it never touches the stopped dispatchers).
 
     Args:
         topology: Default system for every tenant.
@@ -663,10 +929,6 @@ class ShardedServing:
             live tenants *per shard*.
     """
 
-    #: Crash-triggered cold respawns per shard before its traffic
-    #: degrades to the inline fallback registry.
-    SHARD_RESPAWN_LIMIT = 2
-
     DEFAULT_SHARDS = 2
 
     def __init__(
@@ -685,7 +947,6 @@ class ShardedServing:
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
     ) -> None:
-        require_positive(shards, "shards")
         if config is None:
             config = SearchConfig.from_kwargs(
                 designs=designs,
@@ -698,17 +959,8 @@ class ShardedServing:
                 capacity=capacity,
                 subproblem_capacity=subproblem_capacity,
             )
-        #: The canonical config every shard worker rebuilds its
-        #: registry from.
-        self.config = config.canonical()
-        self.topology = topology
-        self.shards = shards
-        self._ctx = multiprocessing.get_context(mp_context)
-        self._closed = False
+        super().__init__(topology, shards, config, mp_context)
         self._submit_lock = threading.Lock()
-        self._fallback: MultiModelSession | None = None
-        self._fallback_lock = threading.Lock()
-        self._handles = [_ShardHandle(index) for index in range(shards)]
         try:
             for handle in self._handles:
                 self._spawn_worker(handle)
@@ -793,7 +1045,7 @@ class ShardedServing:
         place).
         """
         with self._submit_lock:
-            require(not self._closed, "sharded serving frontend is closed")
+            self._require_open()
             handle = self._handles[self.shard_of(graph, topology, objective)]
             future: "Future[MarsResult]" = Future()
             handle.queue.put(
@@ -818,63 +1070,6 @@ class ShardedServing:
     # Worker lifecycle
     # ------------------------------------------------------------------
 
-    def _spawn_worker(self, handle: _ShardHandle) -> None:
-        parent_conn, child_conn = self._ctx.Pipe()
-        # NOT daemonic: a daemonic worker could never start children of
-        # its own, which is exactly what a tenant session configured
-        # with ``workers > 1`` does (its level-2 GA process pool).
-        # Orphan safety comes from the module atexit hook instead: any
-        # frontend still open at interpreter exit is closed (workers
-        # ack and exit) before multiprocessing's own child join runs.
-        process = self._ctx.Process(
-            target=_shard_worker,
-            args=(child_conn, self.topology, self.config),
-            name=f"repro-shard-{handle.index}",
-        )
-        try:
-            process.start()
-        except BaseException:
-            # Failed starts happen under fd/PID pressure — the exact
-            # moment leaking the pipe's two descriptors hurts most.
-            parent_conn.close()
-            child_conn.close()
-            raise
-        child_conn.close()
-        handle.process = process
-        handle.conn = parent_conn
-
-    def _reap_worker(self, handle: _ShardHandle) -> None:
-        """Best-effort teardown of a dead or dying worker process."""
-        if handle.conn is not None:
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
-            handle.conn = None
-        if handle.process is not None:
-            handle.process.join(timeout=5)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=5)
-            handle.process = None
-
-    def _shutdown_worker(self, handle: _ShardHandle) -> None:
-        """Graceful worker shutdown: ask, wait for the ack, reap."""
-        if handle.process is None:
-            return
-        try:
-            handle.conn.send(("shutdown",))
-            handle.conn.poll(30)
-        except (BrokenPipeError, EOFError, OSError):
-            pass
-        self._reap_worker(handle)
-
-    def _restart_worker(self, handle: _ShardHandle) -> None:
-        """Operator-requested cold restart (doesn't count as a crash)."""
-        self._shutdown_worker(handle)
-        handle.restarts += 1
-        self._spawn_worker(handle)
-
     def restart_shard(self, index: int) -> None:
         """Cold-restart one shard worker, in order with its queue.
 
@@ -886,7 +1081,7 @@ class ShardedServing:
         """
         require(0 <= index < self.shards, f"no shard {index}")
         with self._submit_lock:
-            require(not self._closed, "sharded serving frontend is closed")
+            self._require_open()
             done = threading.Event()
             self._handles[index].queue.put(("restart", done))
         done.wait()
@@ -926,61 +1121,6 @@ class ShardedServing:
             else:
                 future.set_result(payload)
 
-    def _roundtrip(self, handle: _ShardHandle, request: tuple) -> tuple:
-        """Send one request to the shard worker; apply the crash policy.
-
-        A broken pipe means the worker died mid-request: reap it and —
-        up to :attr:`SHARD_RESPAWN_LIMIT` times — replace it cold and
-        re-send the request (results are identical, the rebuilt
-        registry just starts with cold caches). Beyond the limit the
-        shard serves inline through the fallback registry.
-        """
-        while True:
-            if not handle.alive:
-                return self._serve_inline(request)
-            try:
-                handle.conn.send(request)
-                return handle.conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                self._reap_worker(handle)
-                if handle.respawns < self.SHARD_RESPAWN_LIMIT:
-                    handle.respawns += 1
-                    try:
-                        self._spawn_worker(handle)
-                    except Exception:
-                        # Respawn itself failed (resource exhaustion):
-                        # leave the handle dead so the next loop serves
-                        # this request inline, like any other dead-shard
-                        # path — the caller still gets its result.
-                        pass
-                # else: handle stays dead; next iteration serves inline.
-
-    def _serve_inline(self, request: tuple) -> tuple:
-        """Serve a request in-process after a shard exhausted respawns.
-
-        The fallback registry is built lazily from the same config the
-        workers got, so results stay bit-identical — this is the
-        sharded analogue of a retired worker pool converging to the
-        serial path.
-        """
-        if request[0] == "stats":
-            # Shard-level stats are gone with the worker; the fallback
-            # registry reports separately under ``fallback``.
-            return ("stats", None)
-        _, graph, seed, topology, objective = request
-        try:
-            with self._fallback_lock:
-                if self._fallback is None:
-                    self._fallback = MultiModelSession.from_config(
-                        self.topology, self.config
-                    )
-                result = self._fallback.search(
-                    graph, seed=seed, topology=topology, objective=objective
-                )
-            return ("ok", result)
-        except Exception as exc:
-            return ("error", exc)
-
     # ------------------------------------------------------------------
     # Observability and lifecycle
     # ------------------------------------------------------------------
@@ -993,24 +1133,22 @@ class ShardedServing:
         by its shard before the shard reports.
         """
         with self._submit_lock:
-            require(not self._closed, "sharded serving frontend is closed")
+            self._require_open()
             futures = []
             for handle in self._handles:
                 future: Future = Future()
                 handle.queue.put(("request", future, ("stats",)))
                 futures.append(future)
         per_shard = tuple(future.result() for future in futures)
-        with self._fallback_lock:
-            fallback = (
-                self._fallback.stats() if self._fallback is not None else None
-            )
         return ShardedServingStats(
             shards=self.shards,
             per_shard=per_shard,
             respawns=sum(h.respawns for h in self._handles),
             restarts=sum(h.restarts for h in self._handles),
             submitted=tuple(h.submitted for h in self._handles),
-            fallback=fallback,
+            fallback=self._fallback_stats(),
+            graph_ships=tuple(h.graph_ships for h in self._handles),
+            fp_sends=tuple(h.fp_sends for h in self._handles),
         )
 
     def close(self) -> None:
@@ -1029,9 +1167,7 @@ class ShardedServing:
         for handle in self._handles:
             if handle.thread is not None:
                 handle.thread.join()
-        with self._fallback_lock:
-            if self._fallback is not None:
-                self._fallback.close()
+        self._close_fallback()
         _LIVE_FRONTENDS.discard(self)
 
     def __enter__(self) -> "ShardedServing":

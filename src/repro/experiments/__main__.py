@@ -22,7 +22,11 @@ evict and rebuild without changing the table), ``--combined`` adds
 the Herald-style merged multi-DNN row, and ``--shards N`` serves the
 table through N shard worker processes
 (:class:`~repro.core.serving.ShardedServing`) — concurrent on
-multi-core machines, bit-identical everywhere.
+multi-core machines, bit-identical everywhere. ``--slo`` (with
+``--shards``) upgrades the frontend to the SLO-aware traffic layer
+(:class:`~repro.core.frontend.SloServing`); ``--deadline SECONDS``
+attaches a deadline to every search — a miss raises instead of
+silently dropping a row, and admitted searches stay bit-identical.
 """
 
 from __future__ import annotations
@@ -106,6 +110,20 @@ def main(argv: list[str] | None = None) -> int:
         "shards search concurrently, results unchanged)",
     )
     parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="table3: route searches through the SLO-aware traffic "
+        "layer (admission control + deadline scheduling) on top of "
+        "--shards (results unchanged)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="table3: per-search deadline in seconds for --slo "
+        "(a missed deadline raises DeadlineExceeded)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -141,6 +159,16 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--shards applies to table3 only")
         if args.shards < 1:
             parser.error("--shards must be >= 1")
+    if args.slo:
+        if args.experiment != "table3":
+            parser.error("--slo applies to table3 only")
+        if args.shards is None:
+            parser.error("--slo requires --shards")
+    if args.deadline is not None:
+        if not args.slo:
+            parser.error("--deadline requires --slo")
+        if args.deadline <= 0:
+            parser.error("--deadline must be > 0")
     if args.no_layer_cache and args.experiment == "table2":
         # table2 profiles designs without any mapping search; there is
         # no evaluator whose cache the flag could disable.
@@ -173,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
             session_capacity=args.session_capacity,
             combined=args.combined,
             shards=args.shards,
+            slo=args.slo,
+            deadline=args.deadline,
         )
         print(result.to_text())
         summary = _layer_cache_summary(
@@ -181,7 +211,18 @@ def main(argv: list[str] | None = None) -> int:
         if summary:
             print(summary)
         serving = result.serving
-        if serving is not None and args.shards is not None:
+        if serving is not None and args.slo:
+            print(
+                f"slo serving: {serving.active_shards} active shards "
+                f"({serving.scheduling} scheduling), "
+                f"{serving.submitted} submitted, "
+                f"{serving.completed} completed, {serving.shed} shed, "
+                f"{serving.expired} expired, "
+                f"{serving.respawns} respawns, "
+                f"{sum(serving.graph_ships)} graph ships / "
+                f"{sum(serving.fp_sends)} fingerprint sends"
+            )
+        elif serving is not None and args.shards is not None:
             merged = serving.merged
             print(
                 f"sharded serving: {serving.shards} shards "

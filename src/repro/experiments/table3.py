@@ -24,6 +24,7 @@ from repro.core.baselines import computation_prioritized_mapping
 from repro.core.config import SearchConfig
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga import SearchBudget
+from repro.core.frontend import SloServing, SloServingStats
 from repro.core.mapper import MarsResult
 from repro.core.serving import (
     MultiModelSession,
@@ -61,9 +62,10 @@ class Table3Result:
     rows: list[Table3Row] = field(default_factory=list)
     mars_results: dict[str, MarsResult] = field(default_factory=dict)
     #: Counters of the serving layer the rows ran through — the
-    #: in-process registry's stats, or the sharded frontend's aggregate
-    #: when ``shards`` was requested.
-    serving: ServingStats | ShardedServingStats | None = None
+    #: in-process registry's stats, the sharded frontend's aggregate
+    #: when ``shards`` was requested, or the SLO frontend's traffic
+    #: counters when ``slo`` was requested on top.
+    serving: ServingStats | ShardedServingStats | SloServingStats | None = None
 
     @property
     def mean_reduction_pct(self) -> float:
@@ -113,6 +115,8 @@ def run_table3(
     session_capacity: int | None = None,
     combined: bool = False,
     shards: int | None = None,
+    slo: bool = False,
+    deadline: float | None = None,
 ) -> Table3Result:
     """Reproduce Table III (or a subset of its rows).
 
@@ -133,7 +137,14 @@ def run_table3(
     :class:`~repro.core.serving.ShardedServing` frontend instead —
     models on different shards search concurrently on multi-core
     machines, and every number in the table stays bit-identical to the
-    single-process run.
+    single-process run. ``slo=True`` (requires ``shards``) upgrades
+    the frontend to the SLO-aware
+    :class:`~repro.core.frontend.SloServing` traffic layer, optionally
+    attaching a per-request ``deadline`` (seconds) to every search —
+    admission and scheduling change *when* searches run, never what
+    they find, so the table is identical under any frontend (a search
+    expired by a too-tight deadline raises instead of silently
+    dropping a row).
     """
     topology = topology or f1_16xlarge()
     budget = budget or SearchBudget.fast()
@@ -154,7 +165,11 @@ def run_table3(
     config = SearchConfig.from_kwargs(
         designs=designs, budget=budget, options=options, capacity=capacity
     )
-    if shards is not None:
+    if slo and shards is None:
+        raise ValueError("slo routing requires shards")
+    if slo:
+        server = SloServing.from_config(topology, config, shards=shards)
+    elif shards is not None:
         server = ShardedServing.from_config(topology, config, shards=shards)
     else:
         server = MultiModelSession.from_config(topology, config)
@@ -163,8 +178,13 @@ def run_table3(
             # Submit the whole sweep up front: searches placed on
             # different shards overlap while this process prices the
             # baselines.
+            submit = (
+                (lambda graph, s: server.submit(graph, seed=s, deadline=deadline))
+                if slo
+                else (lambda graph, s: server.submit(graph, seed=s))
+            )
             futures = {
-                (graph.name, s): server.submit(graph, seed=s)
+                (graph.name, s): submit(graph, s)
                 for graph in graphs
                 for s in seeds
             }

@@ -1,0 +1,155 @@
+"""Fault injection: killed shards, dead deadlines, exhausted respawns.
+
+The serving stack's liveness contract: no injected fault may ever hang
+a caller. A shard killed under a queued backlog resolves every queued
+future (cold respawn + resend, or the inline fallback once the respawn
+budget is spent) with results bit-identical to a fresh ``Mars`` run;
+a deadline already in the past resolves immediately with
+``DeadlineExceeded`` and the search is never dispatched at all.
+"""
+
+import pytest
+
+from repro.core import (
+    DeadlineExceeded,
+    Mars,
+    ShardedServing,
+    SloServing,
+)
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+TOPOLOGY = f1_16xlarge()
+CNN = build_model("tiny_cnn")
+RESNET = build_model("tiny_resnet")
+
+_FRESH: dict = {}
+
+
+def fresh(graph, seed):
+    key = (graph.fingerprint(), seed)
+    if key not in _FRESH:
+        _FRESH[key] = Mars(graph, TOPOLOGY).search(seed=seed)
+    return _FRESH[key]
+
+
+def _same_result(routed, reference):
+    assert routed.latency_ms == reference.latency_ms
+    assert routed.describe() == reference.describe()
+    assert routed.ga.history == reference.ga.history
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestShardKillWithBacklog:
+    def test_slo_frontend_resolves_every_queued_future(self):
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            frontend.suspend()  # build a backlog the kill strands
+            futures = [frontend.submit(CNN, seed=s) for s in (0, 1, 2)]
+            frontend._handles[0].process.kill()
+            frontend.resume()
+            for seed, future in enumerate(futures):
+                _same_result(future.result(timeout=240), fresh(CNN, seed))
+            stats = frontend.stats()
+        assert stats.respawns == 1
+        assert stats.completed == 3
+        assert stats.queued == 0 and stats.running == 0
+        # The cold replacement knew nothing: the graph re-shipped once.
+        assert stats.graph_ships == (2,)
+
+    def test_sharded_frontend_resolves_every_queued_future(self):
+        with ShardedServing(TOPOLOGY, shards=1) as serving:
+            futures = [serving.submit(CNN, seed=s) for s in (0, 1, 2)]
+            serving._handles[0].process.kill()
+            for seed, future in enumerate(futures):
+                _same_result(future.result(timeout=240), fresh(CNN, seed))
+            stats = serving.stats()
+        assert stats.respawns >= 1
+
+    def test_exhausted_respawn_budget_drains_backlog_inline(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(SloServing, "SHARD_RESPAWN_LIMIT", 0)
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            frontend.suspend()
+            futures = [frontend.submit(CNN, seed=s) for s in (0, 1)]
+            frontend._handles[0].process.kill()
+            frontend.resume()
+            for seed, future in enumerate(futures):
+                _same_result(future.result(timeout=240), fresh(CNN, seed))
+            stats = frontend.stats()
+        assert stats.respawns == 0
+        assert stats.fallback is not None
+        assert stats.fallback.searches == 2
+        assert stats.completed == 2
+
+    def test_kill_during_close_still_drains(self):
+        frontend = SloServing(TOPOLOGY, shards=1)
+        frontend.suspend()
+        futures = [frontend.submit(CNN, seed=s) for s in (0, 1)]
+        frontend._handles[0].process.kill()
+        frontend.close()  # overrides the suspension and drains
+        for seed, future in enumerate(futures):
+            _same_result(future.result(timeout=0), fresh(CNN, seed))
+
+
+class TestDeadlineFaults:
+    def test_past_deadline_resolves_immediately_without_dispatch(self):
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            future = frontend.submit(CNN, seed=0, deadline=-5.0)
+            assert future.done()  # resolved at submit, no queue wait
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=0)
+            stats = frontend.stats()
+        assert stats.expired == 1
+        assert stats.completed == 0
+        # Never dispatched: nothing was ever shipped to the worker.
+        assert stats.graph_ships == (0,)
+        assert stats.fp_sends == (0,)
+
+    def test_zero_deadline_counts_as_past(self):
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            future = frontend.submit(CNN, seed=0, deadline=0.0)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=0)
+
+    def test_queued_request_expires_before_dispatch(self):
+        clock = FakeClock()
+        with SloServing(TOPOLOGY, shards=1, clock=clock) as frontend:
+            frontend.suspend()
+            doomed = frontend.submit(CNN, seed=0, deadline=1.0)
+            clock.advance(2.0)  # deadline passes while queued
+            frontend.resume()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=240)
+            stats = frontend.stats()
+        assert stats.expired == 1
+        assert stats.graph_ships == (0,)  # culled before any dispatch
+
+    def test_expiry_only_hits_the_doomed_request(self):
+        clock = FakeClock()
+        with SloServing(TOPOLOGY, shards=1, clock=clock) as frontend:
+            frontend.suspend()
+            doomed = frontend.submit(CNN, seed=0, deadline=1.0)
+            kept = frontend.submit(RESNET, seed=0)
+            clock.advance(2.0)
+            frontend.resume()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=240)
+            _same_result(kept.result(timeout=240), fresh(RESNET, 0))
+            stats = frontend.stats()
+        assert stats.expired == 1
+        assert stats.completed == 1
+        assert stats.submitted == stats.completed + stats.shed + stats.expired
+
+    def test_deadline_exceeded_is_timeout_error(self):
+        assert issubclass(DeadlineExceeded, TimeoutError)

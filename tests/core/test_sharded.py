@@ -135,10 +135,19 @@ class TestLifecycleAndStats:
             _same_result(future.result(timeout=0), fresh(CNN, seed))
 
     def test_submit_after_close_raises(self):
+        # Regression (PR 6): submit() after close() used to raise the
+        # argument-validation ValueError, blurring a caller lifecycle
+        # bug into a bad-input error — and anything that slipped past
+        # would have queued onto dispatchers that already stopped. It
+        # must be a clean RuntimeError that never touches the queues.
         serving = ShardedServing(TOPOLOGY, shards=1)
         serving.close()
-        with pytest.raises(ValueError, match="closed"):
+        with pytest.raises(RuntimeError, match="closed"):
             serving.submit(CNN)
+        with pytest.raises(RuntimeError, match="closed"):
+            serving.stats()
+        with pytest.raises(RuntimeError, match="closed"):
+            serving.restart_shard(0)
         serving.close()  # idempotent
 
     def test_shard_workers_can_host_pooled_tenant_sessions(self):
@@ -189,6 +198,31 @@ class TestLifecycleAndStats:
         )
         assert result.returncode == 0, result.stderr
         assert "done" in result.stdout
+
+    def test_interned_graph_handshake_ships_each_graph_once(self):
+        # The handshake's whole point: one full-graph pickle per
+        # (workload, worker incarnation), fingerprints thereafter.
+        with ShardedServing(TOPOLOGY, shards=1) as serving:
+            for seed in (0, 1, 2):
+                serving.search(CNN, seed=seed)
+            for seed in (0, 1):
+                serving.search(RESNET, seed=seed)
+            stats = serving.stats()
+        assert stats.graph_ships == (2,)  # one per distinct workload
+        assert stats.fp_sends == (3,)  # every repeat went as a hash
+
+    def test_handshake_reships_after_crash_respawn(self):
+        # A cold replacement worker has interned nothing; the frontend
+        # must notice (its ledger clears on reap) and ship the full
+        # graph again rather than strand the tenant on unknown_fp.
+        with ShardedServing(TOPOLOGY, shards=1) as serving:
+            serving.search(CNN, seed=0)
+            serving._handles[0].process.kill()
+            result = serving.search(CNN, seed=1)
+            stats = serving.stats()
+        _same_result(result, fresh(CNN, 1))
+        assert stats.respawns == 1
+        assert stats.graph_ships == (2,)
 
     def test_stats_aggregate_across_shards(self):
         with ShardedServing(TOPOLOGY, shards=2) as serving:
