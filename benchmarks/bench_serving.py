@@ -231,7 +231,13 @@ def bench_serving_traffic_mixes(benchmark):
         assert mixes["uniform"]["shed_rate"] == 0.0
 
     # --- skewed: hot tenant over capacity, shallow tenant queue ---------
-    with make_frontend(queue_depth=16) as frontend:
+    # The hot tenant's backlog peaks around count * 0.8 * (1 - 1/1.5)
+    # ~= count / 4.7 requests; the queue bound scales with the request
+    # count so the run sits well inside the shedding regime (~2x
+    # headroom) at the CI smoke size (REPRO_SERVING_REQUESTS=60) as
+    # much as at the full default run — a fixed depth of 16 was exactly
+    # at the smoke run's backlog peak, making the shed gate a coin flip.
+    with make_frontend(queue_depth=max(4, count // 10)) as frontend:
         service_s = warm(frontend)
         rate = 1.5 / service_s  # the hot tenant's one shard saturates
 

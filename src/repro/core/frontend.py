@@ -696,22 +696,34 @@ class SloServing(_ShardPool):
         competes under :func:`dispatch_key` (EDF) or plain arrival
         order (FIFO). Within one tenant queue arrival order and EDF
         order coincide (a queue is FIFO per tenant), so heads suffice.
+
+        Tenant entries whose queue is (or becomes) empty are dropped
+        from ``self._queues`` — the placement slot is recomputed from
+        the key on the tenant's next submit — so a long-lived frontend
+        serving many distinct tenants neither grows memory nor pays a
+        per-dispatch scan proportional to every tenant it ever saw.
         """
         best: _Request | None = None
+        best_key: tuple | None = None
         best_tenant: _TenantQueue | None = None
-        for tenant in self._queues.values():
-            if not tenant.requests or not self._assigned(tenant, index):
-                continue
-            alive = deque()
-            for request in tenant.requests:
-                if request.deadline is not None and request.deadline <= now:
-                    to_expire.append(request)
-                    self._expired += 1
-                    self._queued -= 1
-                else:
-                    alive.append(request)
-            tenant.requests = alive
+        for key, tenant in list(self._queues.items()):
+            if tenant.requests and self._assigned(tenant, index):
+                alive = deque()
+                for request in tenant.requests:
+                    if (
+                        request.deadline is not None
+                        and request.deadline <= now
+                    ):
+                        to_expire.append(request)
+                        self._expired += 1
+                        self._queued -= 1
+                    else:
+                        alive.append(request)
+                tenant.requests = alive
             if not tenant.requests:
+                del self._queues[key]
+                continue
+            if not self._assigned(tenant, index):
                 continue
             if self.policy.scheduling == "edf":
                 head = min(
@@ -721,9 +733,11 @@ class SloServing(_ShardPool):
             else:
                 head = tenant.requests[0]
             if best is None or self._precedes(head, best):
-                best, best_tenant = head, tenant
+                best, best_key, best_tenant = head, key, tenant
         if best is not None:
             best_tenant.requests.remove(best)
+            if not best_tenant.requests:
+                del self._queues[best_key]
             self._queued -= 1
             self._running += 1
         if to_expire:
@@ -770,12 +784,27 @@ class SloServing(_ShardPool):
                         break
                     self._work.wait(timeout=tick)
             for expired in to_expire:
-                expired.future.set_exception(
-                    DeadlineExceeded(
-                        "deadline elapsed before dispatch "
-                        f"(request #{expired.seq})"
+                # set_running_or_notify_cancel is the race-free gate: a
+                # caller may cancel the future at any instant (asyncio
+                # task cancellation lands here through wrap_future), and
+                # a bare set_exception on a cancelled future would raise
+                # InvalidStateError and kill this dispatcher thread.
+                # Once the gate returns True the future is RUNNING and
+                # can no longer be cancelled, so set_exception is safe.
+                if expired.future.set_running_or_notify_cancel():
+                    expired.future.set_exception(
+                        DeadlineExceeded(
+                            "deadline elapsed before dispatch "
+                            f"(request #{expired.seq})"
+                        )
                     )
-                )
+                else:
+                    with self._work:
+                        # _pop_request accounted it as expired; it
+                        # actually resolved by cancellation.
+                        self._expired -= 1
+                        self._cancelled += 1
+                        self._work.notify_all()
             if control is not None:
                 self._serve_control(handle, control)
                 continue
@@ -797,6 +826,9 @@ class SloServing(_ShardPool):
             with self._work:
                 self._running -= 1
                 self._cancelled += 1
+                # Cancellation is a resolution like any other: drain()
+                # waits on the in-flight counters and must wake here too.
+                self._work.notify_all()
             return
         try:
             status, payload = self._roundtrip(

@@ -462,11 +462,19 @@ def _shard_worker(
     fingerprint; every later request for the same workload ships the
     fingerprint alone (``"search_fp"``), sparing the per-request graph
     pickle. A fingerprint the worker does not know (the frontend raced
-    a respawn) answers ``("unknown_fp", fp)`` so the frontend re-ships
-    the full graph instead of failing the request.
+    a respawn, or the graph was LRU-evicted) answers
+    ``("unknown_fp", fp)`` so the frontend re-ships the full graph
+    instead of failing the request.
+
+    The interned dict is LRU-bounded to the registry's tenant
+    ``capacity`` — a worker that outlives many distinct workloads must
+    not retain every graph it ever saw when the registry itself keeps
+    only ``capacity`` warm sessions. Eviction only costs one re-ship on
+    the workload's next request, through the same ``unknown_fp`` path
+    a respawn uses.
     """
     registry = MultiModelSession.from_config(topology, config)
-    interned: dict[str, ComputationGraph] = {}
+    interned: OrderedDict[str, ComputationGraph] = OrderedDict()
     try:
         while True:
             try:
@@ -489,9 +497,14 @@ def _shard_worker(
                 if graph is None:
                     conn.send(("unknown_fp", fp))
                     continue
+                interned.move_to_end(fp)
             else:
                 _, graph, seed, topology_override, objective = message
-                interned[graph.fingerprint()] = graph
+                fp = graph.fingerprint()
+                interned[fp] = graph
+                interned.move_to_end(fp)
+                while len(interned) > registry.capacity:
+                    interned.popitem(last=False)
             try:
                 result = registry.search(
                     graph,

@@ -5,8 +5,14 @@ a caller. A shard killed under a queued backlog resolves every queued
 future (cold respawn + resend, or the inline fallback once the respawn
 budget is spent) with results bit-identical to a fresh ``Mars`` run;
 a deadline already in the past resolves immediately with
-``DeadlineExceeded`` and the search is never dispatched at all.
+``DeadlineExceeded`` and the search is never dispatched at all. A
+future cancelled while queued resolves by cancellation — never by a
+dispatcher-killing ``InvalidStateError``, and never leaving ``drain()``
+blocked.
 """
+
+import threading
+from concurrent.futures import CancelledError
 
 import pytest
 
@@ -16,6 +22,8 @@ from repro.core import (
     ShardedServing,
     SloServing,
 )
+from repro.core.config import SearchConfig
+from repro.core.serving import _shard_worker
 from repro.dnn import build_model
 from repro.system import f1_16xlarge
 
@@ -153,3 +161,110 @@ class TestDeadlineFaults:
 
     def test_deadline_exceeded_is_timeout_error(self):
         assert issubclass(DeadlineExceeded, TimeoutError)
+
+
+class TestCancellationFaults:
+    def test_cancel_then_expire_keeps_dispatcher_alive(self):
+        # A queued request is cancelled by its caller, *then* its
+        # deadline passes. Expiry resolution must notice the
+        # cancellation (not die on InvalidStateError) — the shard's
+        # dispatcher survives and keeps serving.
+        clock = FakeClock()
+        with SloServing(TOPOLOGY, shards=1, clock=clock) as frontend:
+            frontend.suspend()
+            doomed = frontend.submit(CNN, seed=0, deadline=1.0)
+            assert doomed.cancel()
+            clock.advance(2.0)
+            frontend.resume()
+            with pytest.raises(CancelledError):
+                doomed.result(timeout=0)
+            # The same shard still dispatches: a dead dispatcher would
+            # hang this follow-up forever.
+            follow_up = frontend.submit(CNN, seed=0)
+            _same_result(follow_up.result(timeout=240), fresh(CNN, 0))
+            assert frontend.drain(timeout=240)
+            stats = frontend.stats()
+        assert stats.cancelled == 1
+        assert stats.expired == 0  # resolved by cancellation, not expiry
+        assert stats.completed == 1
+        assert stats.queued == 0 and stats.running == 0
+        assert stats.submitted == stats.resolved + stats.shed
+
+    def test_drain_wakes_when_last_request_resolves_by_cancellation(self):
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            frontend.suspend()
+            held = frontend.submit(CNN, seed=0)
+            assert held.cancel()
+            frontend.resume()
+            # The cancelled dispatch is the only in-flight work; drain
+            # must be notified of its resolution, not sit until timeout.
+            assert frontend.drain(timeout=240)
+            stats = frontend.stats()
+        assert stats.cancelled == 1
+        assert stats.queued == 0 and stats.running == 0
+
+
+class TestQueueHygiene:
+    def test_tenant_queues_pruned_when_emptied(self):
+        # Distinct tenants come and go; their queue entries must not
+        # accumulate in the frontend for its whole lifetime.
+        clock = FakeClock()
+        with SloServing(TOPOLOGY, shards=1, clock=clock) as frontend:
+            frontend.search(CNN, seed=0)
+            frontend.search(RESNET, seed=0)
+            # An expiry-culled tenant is pruned too, not just a
+            # dispatched one.
+            frontend.suspend()
+            doomed = frontend.submit(CNN, seed=1, deadline=1.0)
+            clock.advance(2.0)
+            frontend.resume()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=240)
+            assert frontend.drain(timeout=240)
+            with frontend._lock:
+                assert not frontend._queues
+
+
+class TestWorkerInternBound:
+    def test_worker_interned_graphs_are_lru_bounded(self):
+        # Drive the shard worker loop directly over an in-process pipe:
+        # with a capacity-1 registry the worker may retain at most one
+        # interned graph, and an evicted fingerprint must answer
+        # unknown_fp (the same path a respawn uses) rather than being
+        # served from an unbounded side table.
+        import multiprocessing
+
+        config = SearchConfig.from_kwargs(capacity=1)
+        parent, child = multiprocessing.get_context("spawn").Pipe()
+        worker = threading.Thread(
+            target=_shard_worker,
+            args=(child, TOPOLOGY, config),
+            daemon=True,
+        )
+        worker.start()
+        try:
+            parent.send(("search", CNN, 0, None, "latency"))
+            status, result = parent.recv()
+            assert status == "ok"
+            _same_result(result, fresh(CNN, 0))
+            # Still interned: the fingerprint round-trips.
+            parent.send(("search_fp", CNN.fingerprint(), 0, None, "latency"))
+            assert parent.recv()[0] == "ok"
+            # A second workload pushes the first out (capacity=1)...
+            parent.send(("search", RESNET, 0, None, "latency"))
+            assert parent.recv()[0] == "ok"
+            parent.send(("search_fp", CNN.fingerprint(), 0, None, "latency"))
+            status, payload = parent.recv()
+            assert status == "unknown_fp"
+            assert payload == CNN.fingerprint()
+            # ...and re-shipping the full graph recovers, bit-identically.
+            parent.send(("search", CNN, 1, None, "latency"))
+            status, result = parent.recv()
+            assert status == "ok"
+            _same_result(result, fresh(CNN, 1))
+        finally:
+            parent.send(("shutdown",))
+            assert parent.recv()[0] == "bye"
+            parent.close()
+            worker.join(timeout=60)
+        assert not worker.is_alive()
