@@ -39,6 +39,12 @@ TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_hot_paths.json"
 #: and CI uploads it as its own artifact.
 SERVING_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_serving.json"
 
+#: The durability trajectory: cold-start vs store-warm-start wall clock
+#: of a fresh ``ShardedServing`` deployment (``bench_store.py``). Its
+#: own file for the same reason as the serving trajectory — it tracks
+#: artifact reuse across process trees, not kernel speed.
+STORE_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_store.json"
+
 
 def bench_workers() -> int:
     """GA evaluation workers for this run (``REPRO_BENCH_WORKERS``)."""

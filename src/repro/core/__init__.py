@@ -11,6 +11,7 @@ the entry point; the submodules expose each piece for direct use:
 * :mod:`repro.core.session` — warm-search sessions for server workloads.
 * :mod:`repro.core.serving` — the multi-tenant session registry.
 * :mod:`repro.core.frontend` — the SLO-aware async traffic layer.
+* :mod:`repro.core.store` — the crash-safe persistent artifact store.
 * :mod:`repro.core.baselines` — comparison mappers.
 """
 
@@ -44,6 +45,12 @@ from repro.core.serving import (
     ShardedServingStats,
 )
 from repro.core.session import MarsSession, SessionStats
+from repro.core.store import (
+    MappingStore,
+    StoreCorruption,
+    StoreSpec,
+    StoreStats,
+)
 from repro.core.sharding import (
     NO_PARALLELISM,
     ParallelismStrategy,
@@ -68,6 +75,7 @@ __all__ = [
     "Mapping",
     "MappingEvaluation",
     "MappingEvaluator",
+    "MappingStore",
     "Mars",
     "MarsResult",
     "MarsSession",
@@ -84,6 +92,9 @@ __all__ = [
     "SessionStats",
     "SetAssignment",
     "ShardingPlan",
+    "StoreCorruption",
+    "StoreSpec",
+    "StoreStats",
     "TenantQueueFull",
     "TrafficPolicy",
     "cached_sharding_plan",

@@ -30,6 +30,7 @@ from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga.level1 import SearchBudget
+from repro.core.store import StoreSpec
 from repro.utils.rng import stable_digest
 from repro.utils.validation import require, require_positive
 
@@ -78,6 +79,13 @@ class SearchConfig:
         capacity: Maximum live tenant sessions per serving registry.
         subproblem_capacity: Per-session LRU bound on the cross-search
             sub-problem cache.
+        store: A :class:`~repro.core.store.StoreSpec` naming the
+            persistent mapping artifact store every session built from
+            this config consults before searching and publishes to
+            after (``None`` — the default — runs without durable
+            state). Like the capacities, the store changes wall-clock
+            only, never results, and is therefore excluded from
+            :meth:`fingerprint`.
     """
 
     designs: tuple[AcceleratorDesign, ...] = field(
@@ -91,6 +99,7 @@ class SearchConfig:
     layer_cache: bool | None = None
     capacity: int = DEFAULT_CAPACITY
     subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY
+    store: StoreSpec | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.designs, tuple):
@@ -117,6 +126,7 @@ class SearchConfig:
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        store: StoreSpec | None = None,
     ) -> "SearchConfig":
         """The bundle of the facades' historical loose kwargs.
 
@@ -133,6 +143,7 @@ class SearchConfig:
             layer_cache=layer_cache,
             capacity=capacity,
             subproblem_capacity=subproblem_capacity,
+            store=store,
         )
 
     # ------------------------------------------------------------------
@@ -183,4 +194,34 @@ class SearchConfig:
             canonical.objective,
             canonical.capacity,
             canonical.subproblem_capacity,
+        )
+
+    def result_fingerprint(self) -> str:
+        """Stable hash of everything that determines *search results*.
+
+        Narrower than :meth:`fingerprint`: the backend knobs the stack
+        proved results-invisible — worker counts, fitness memoization,
+        the layer-cost cache and its bound, the serving capacities, and
+        the store spec itself — are normalized away, so two configs
+        that *search identically* share one fingerprint no matter how
+        their wall-clock knobs are spelled. This is the config
+        component of a persistent store key: an artifact searched under
+        ``workers=4`` must warm-start a ``workers=1`` deployment, and a
+        store entry must never be addressed by the spec of the store
+        holding it.
+        """
+        canonical = self.canonical()
+        defaults = EvaluatorOptions()
+        return stable_digest(
+            "search-config-result-v1",
+            tuple(repr(design) for design in canonical.designs),
+            repr(canonical.budget.with_backend(workers=1, cache=False)),
+            repr(
+                replace(
+                    canonical.options,
+                    layer_cache=defaults.layer_cache,
+                    layer_cache_capacity=defaults.layer_cache_capacity,
+                )
+            ),
+            canonical.objective,
         )

@@ -290,6 +290,12 @@ class SloServingStats:
     per_shard: tuple[ServingStats | None, ...] = ()
     #: The inline fallback registry's counters, if it ever engaged.
     fallback: ServingStats | None = None
+    #: Exceptions absorbed per shard on teardown/respawn/restart paths
+    #: (formerly invisible ``pass`` sites in the shard pool).
+    swallowed_errors: tuple[int, ...] = ()
+    #: Most recent crash-respawn backoff delay per shard (seconds; 0.0
+    #: for a shard that never crash-respawned).
+    respawn_backoff: tuple[float, ...] = ()
 
     @property
     def in_flight(self) -> int:
@@ -956,6 +962,12 @@ class SloServing(_ShardPool):
                 fp_sends=tuple(h.fp_sends for h in self._handles),
                 per_shard=per_shard,
                 fallback=self._fallback_stats(),
+                swallowed_errors=tuple(
+                    h.swallowed for h in self._handles
+                ),
+                respawn_backoff=tuple(
+                    h.last_backoff for h in self._handles
+                ),
             )
 
     def drain(self, timeout: float | None = None) -> bool:

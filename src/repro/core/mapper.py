@@ -89,7 +89,11 @@ class Mars:
         bundle (see :meth:`config`); both spellings produce
         bit-identical searches for equivalent inputs.
         ``config.capacity`` — a serving-registry bound — has no meaning
-        for a single-workload facade and is not carried.
+        for a single-workload facade and is not carried. Neither is
+        ``config.store``: a fresh ``Mars`` run is the *reference
+        baseline* every store hit is property-tested bit-identical
+        against, so the facade always searches rather than consulting
+        the persistent tier.
         """
         config = config.canonical()
         return cls(

@@ -52,6 +52,7 @@ import multiprocessing
 import multiprocessing.util  # noqa: F401
 import queue
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
@@ -536,6 +537,8 @@ class _ShardHandle:
         "graph_ships",
         "fp_sends",
         "drained",
+        "swallowed",
+        "last_backoff",
     )
 
     def __init__(self, index: int) -> None:
@@ -565,6 +568,17 @@ class _ShardHandle:
         #: drained shard respawns on demand instead of degrading to the
         #: inline fallback).
         self.drained = False
+        #: Exceptions absorbed on this shard's teardown/respawn paths.
+        #: Each was previously a silent ``pass`` — deliberately not
+        #: propagated (the caller still gets a result through a respawn
+        #: or the inline fallback), but a broken environment must be
+        #: *visible*, so every swallow counts here and surfaces in
+        #: ``stats()``.
+        self.swallowed = 0
+        #: The most recent crash-respawn backoff delay applied before
+        #: replacing this shard's worker (seconds; 0.0 until the first
+        #: crash respawn).
+        self.last_backoff = 0.0
 
     @property
     def alive(self) -> bool:
@@ -601,6 +615,13 @@ class ShardedServingStats:
     #: Fingerprint-only requests shipped per shard (graph pickles the
     #: handshake saved).
     fp_sends: tuple[int, ...] = ()
+    #: Exceptions absorbed per shard on teardown/respawn/restart paths
+    #: (each kept a caller's request alive, but counts as evidence of a
+    #: degrading environment — formerly invisible ``pass`` sites).
+    swallowed_errors: tuple[int, ...] = ()
+    #: Most recent crash-respawn backoff delay per shard (seconds; 0.0
+    #: for a shard that never crash-respawned).
+    respawn_backoff: tuple[float, ...] = ()
 
     @cached_property
     def merged(self) -> ServingStats:
@@ -690,6 +711,13 @@ class _ShardPool:
     #: degrades to the inline fallback registry.
     SHARD_RESPAWN_LIMIT = 2
 
+    #: First crash-respawn backoff delay (seconds); doubles per respawn
+    #: of the same shard, capped below.
+    RESPAWN_BACKOFF_BASE = 0.05
+
+    #: Upper bound on any single crash-respawn backoff delay (seconds).
+    RESPAWN_BACKOFF_CAP = 2.0
+
     def __init__(
         self,
         topology: SystemTopology,
@@ -708,6 +736,10 @@ class _ShardPool:
         self._fallback: MultiModelSession | None = None
         self._fallback_lock = threading.Lock()
         self._handles = [_ShardHandle(index) for index in range(shards)]
+        # Injectable for tests: the crash-respawn backoff's sleep. Only
+        # the dispatcher thread of the crashed shard sleeps — other
+        # shards keep serving.
+        self._sleep = time.sleep
 
     def _require_open(self) -> None:
         """Raise a clean :class:`RuntimeError` once the frontend is
@@ -756,7 +788,7 @@ class _ShardPool:
             try:
                 handle.conn.close()
             except OSError:
-                pass
+                handle.swallowed += 1
             handle.conn = None
         if handle.process is not None:
             handle.process.join(timeout=5)
@@ -775,7 +807,9 @@ class _ShardPool:
             handle.conn.send(("shutdown",))
             handle.conn.poll(30)
         except (BrokenPipeError, EOFError, OSError):
-            pass
+            # The worker died before (or while) acking — reaping below
+            # still collects it; count the failed graceful path.
+            handle.swallowed += 1
         self._reap_worker(handle)
 
     def _restart_worker(self, handle: _ShardHandle) -> None:
@@ -783,6 +817,32 @@ class _ShardPool:
         self._shutdown_worker(handle)
         handle.restarts += 1
         self._spawn_worker(handle)
+
+    def _respawn_backoff(self, handle: _ShardHandle) -> float:
+        """The delay before this shard's next crash respawn (seconds).
+
+        Bounded exponential — :attr:`RESPAWN_BACKOFF_BASE` doubling per
+        respawn of the shard, capped at :attr:`RESPAWN_BACKOFF_CAP` —
+        with deterministic jitter in ``[0.5, 1.0)`` of the nominal
+        delay, derived from the (shard, attempt) pair through
+        :func:`~repro.utils.rng.stable_seed` so shards that crash
+        together don't respawn in lockstep, yet tests can predict every
+        delay exactly. A deterministically-crashing worker therefore
+        costs a geometrically-slowing spawn/die cycle instead of a hot
+        loop, and the inline fallback engages after
+        :attr:`SHARD_RESPAWN_LIMIT` respawns as before.
+        """
+        attempt = handle.respawns
+        nominal = min(
+            self.RESPAWN_BACKOFF_CAP,
+            self.RESPAWN_BACKOFF_BASE * (2.0 ** attempt),
+        )
+        jitter = 0.5 + (
+            stable_seed("respawn-jitter", handle.index, attempt) % 4096
+        ) / 8192.0
+        delay = nominal * jitter
+        handle.last_backoff = delay
+        return delay
 
     # ------------------------------------------------------------------
     # Request round-trip (crash policy + interned-graph handshake)
@@ -838,6 +898,9 @@ class _ShardPool:
             except (BrokenPipeError, EOFError, OSError):
                 self._reap_worker(handle)
                 if handle.respawns < self.SHARD_RESPAWN_LIMIT:
+                    delay = self._respawn_backoff(handle)
+                    if delay > 0:
+                        self._sleep(delay)
                     handle.respawns += 1
                     try:
                         self._spawn_worker(handle)
@@ -846,7 +909,7 @@ class _ShardPool:
                         # leave the handle dead so the next loop serves
                         # this request inline, like any other dead-shard
                         # path — the caller still gets its result.
-                        pass
+                        handle.swallowed += 1
                 # else: handle stays dead; next iteration serves inline.
                 continue
             if response[0] == "unknown_fp":
@@ -1116,8 +1179,9 @@ class ShardedServing(_ShardPool):
                 except Exception:
                     # A failed respawn leaves the handle dead; its
                     # traffic degrades to the inline fallback. The
-                    # dispatcher must survive either way.
-                    pass
+                    # dispatcher must survive either way — but the
+                    # failure surfaces in ``stats().swallowed_errors``.
+                    handle.swallowed += 1
                 finally:
                     item[1].set()
                 continue
@@ -1162,6 +1226,8 @@ class ShardedServing(_ShardPool):
             fallback=self._fallback_stats(),
             graph_ships=tuple(h.graph_ships for h in self._handles),
             fp_sends=tuple(h.fp_sends for h in self._handles),
+            swallowed_errors=tuple(h.swallowed for h in self._handles),
+            respawn_backoff=tuple(h.last_backoff for h in self._handles),
         )
 
     def close(self) -> None:

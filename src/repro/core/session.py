@@ -53,11 +53,13 @@ from repro.core.ga.engine import GAResult
 from repro.core.ga.heuristics import Partition
 from repro.core.ga.level1 import Level1Search, SearchBudget
 from repro.core.ga.level2 import SetSolution
+from repro.core.store import MappingStore
 from repro.dnn.graph import ComputationGraph
 from repro.simulator.program import ExecutionProgram
 from repro.system.topology import SystemTopology
 from repro.utils.cache import LruCache
 from repro.utils.rng import make_rng
+from repro.utils.serialization import mapping_from_dict, mapping_to_dict
 from repro.utils.validation import require
 
 
@@ -118,6 +120,19 @@ class SessionStats:
     #: Retired pool *backends* the session replaced (bounded by
     #: :attr:`MarsSession.POOL_RESPAWN_LIMIT`).
     pool_respawns: int = 0
+    #: Searches answered from the persistent artifact store — verified
+    #: on-disk results, no GA run (0 without a configured store).
+    store_hits: int = 0
+    #: Store lookups that fell through to a fresh search (absent,
+    #: corrupt, or degraded entries).
+    store_misses: int = 0
+    #: Fresh results published durably to the store.
+    store_publishes: int = 0
+    #: Store I/O failures downgraded to misses or dropped publishes
+    #: (bounded retries spent, or a writer-lock timeout).
+    store_errors: int = 0
+    #: Corrupt store entries quarantined on read.
+    store_quarantined: int = 0
 
     @classmethod
     def zero(cls) -> "SessionStats":
@@ -155,6 +170,13 @@ class SessionStats:
             pool_spawns=self.pool_spawns + other.pool_spawns,
             pool_failures=self.pool_failures + other.pool_failures,
             pool_respawns=self.pool_respawns + other.pool_respawns,
+            store_hits=self.store_hits + other.store_hits,
+            store_misses=self.store_misses + other.store_misses,
+            store_publishes=self.store_publishes + other.store_publishes,
+            store_errors=self.store_errors + other.store_errors,
+            store_quarantined=(
+                self.store_quarantined + other.store_quarantined
+            ),
         )
 
 
@@ -269,6 +291,25 @@ class MarsSession:
         # cumulative across respawns.
         self._retired_pool_spawns = 0
         self._retired_pool_failures = 0
+        #: The persistent artifact store (None without a config spec).
+        #: Opened per session; sessions in any process configured with
+        #: the same spec share the on-disk state — which is how a
+        #: crash-respawned shard worker or a fresh frontend warm-starts.
+        self._store: MappingStore | None = (
+            MappingStore.from_spec(self.config.store)
+            if self.config.store is not None
+            else None
+        )
+        # The store key's fixed components; the seed varies per search.
+        self._store_key: tuple[str, str, str] | None = (
+            (
+                graph.fingerprint(),
+                topology.fingerprint(),
+                self.config.result_fingerprint(),
+            )
+            if self._store is not None
+            else None
+        )
 
     @classmethod
     def from_config(
@@ -322,9 +363,28 @@ class MarsSession:
 
         Bit-identical to a fresh :class:`~repro.core.mapper.Mars` search
         with the same configuration and seed — warm state only cuts
-        wall-clock.
+        wall-clock. With a configured store, the persistent tier is
+        consulted first (a verified artifact skips the GA entirely —
+        still bit-identical, because only finished results of the same
+        ``(workload, system, config, seed)`` key are ever loaded, and
+        every load is digest- and fingerprint-checked) and the fresh
+        result is published after. A broken store never raises here:
+        failures downgrade to a normal fresh search (see
+        :mod:`repro.core.store`).
         """
         require(not self._closed, "session is closed")
+        if self._store is not None:
+            graph_fp, topology_fp, config_fp = self._store_key
+            stored = self._store.get(
+                graph_fp=graph_fp,
+                topology_fp=topology_fp,
+                config_fp=config_fp,
+                seed=seed,
+                decode=self._decode_stored,
+            )
+            if stored is not None:
+                self._searches += 1
+                return stored
         search = Level1Search(
             graph=self.graph,
             topology=self.topology,
@@ -342,7 +402,64 @@ class MarsSession:
         self._partitions = search.partitions
         self._design_profile = search.design_profile
         self._searches += 1
-        return MarsResult(mapping=mapping, evaluation=evaluation, ga=ga_result)
+        result = MarsResult(
+            mapping=mapping, evaluation=evaluation, ga=ga_result
+        )
+        if self._store is not None:
+            graph_fp, topology_fp, config_fp = self._store_key
+            self._store.put(
+                self._encode_result(result),
+                graph_fp=graph_fp,
+                topology_fp=topology_fp,
+                config_fp=config_fp,
+                seed=seed,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Store payload codec
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_result(result: MarsResult) -> dict:
+        """The store payload of a finished search.
+
+        The mapping travels as its :func:`mapping_to_dict` form — the
+        fingerprint-carrying schema the serialization layer already
+        verifies — so :meth:`_decode_stored` re-homes it onto *this*
+        session's graph/topology objects instead of unpickling stale
+        copies. The evaluation and GA trace are opaque picklable
+        payloads; the store's digest covers all three.
+        """
+        return {
+            "mapping": mapping_to_dict(result.mapping),
+            "evaluation": result.evaluation,
+            "ga": result.ga,
+        }
+
+    def _decode_stored(self, payload: dict) -> MarsResult:
+        """Rebuild a stored artifact against the session's own objects.
+
+        :func:`mapping_from_dict` re-checks the embedded workload and
+        system fingerprints against the session's graph/topology — the
+        second, independent integrity gate after the store's digest
+        check. Any mismatch raises, which the store translates into a
+        quarantine plus a miss (the session then searches fresh).
+        """
+        mapping = mapping_from_dict(
+            payload["mapping"], self.graph, self.topology, self.designs
+        )
+        evaluation = payload["evaluation"]
+        ga = payload["ga"]
+        require(
+            isinstance(evaluation, MappingEvaluation),
+            f"stored evaluation has type {type(evaluation).__name__}",
+        )
+        require(
+            isinstance(ga, GAResult),
+            f"stored GA trace has type {type(ga).__name__}",
+        )
+        return MarsResult(mapping=mapping, evaluation=evaluation, ga=ga)
 
     def compile_program(self, result: MarsResult) -> ExecutionProgram:
         """Replayable execution program of a search result.
@@ -364,6 +481,15 @@ class MarsSession:
         if pool is not None:
             pool_spawns += pool.pool_spawns
             pool_failures += pool.pool_failures
+        store_hits = store_misses = store_publishes = 0
+        store_errors = store_quarantined = 0
+        if self._store is not None:
+            store = self._store.stats()
+            store_hits = store.hits
+            store_misses = store.misses
+            store_publishes = store.publishes
+            store_errors = store.io_errors + store.lock_timeouts
+            store_quarantined = store.corruptions
         return SessionStats(
             searches=self._searches,
             subproblem_solutions=len(self.solution_cache),
@@ -375,7 +501,19 @@ class MarsSession:
             pool_spawns=pool_spawns,
             pool_failures=pool_failures,
             pool_respawns=self._pool_respawns,
+            store_hits=store_hits,
+            store_misses=store_misses,
+            store_publishes=store_publishes,
+            store_errors=store_errors,
+            store_quarantined=store_quarantined,
         )
+
+    @property
+    def store(self) -> MappingStore | None:
+        """The session's persistent artifact store (None when not
+        configured) — exposed for direct inspection of quarantine
+        records and degradation state."""
+        return self._store
 
     def clear(self) -> None:
         """Drop all warm state (results stay identical; re-search pays

@@ -27,6 +27,10 @@ multi-core machines, bit-identical everywhere. ``--slo`` (with
 (:class:`~repro.core.frontend.SloServing`); ``--deadline SECONDS``
 attaches a deadline to every search — a miss raises instead of
 silently dropping a row, and admitted searches stay bit-identical.
+``--store PATH`` persists finished mappings to a crash-safe artifact
+store at PATH: re-running the same table answers repeat (model, seed)
+searches from disk, verified and bit-identical, without re-running
+the GA.
 """
 
 from __future__ import annotations
@@ -59,6 +63,36 @@ def _layer_cache_summary(stats: list[LayerCacheStats]) -> str | None:
     return (
         f"layer-cost cache: {hits} hits / {misses} misses "
         f"({rate:.1f}% hit rate), {entries} entries, {evictions} evictions"
+    )
+
+
+def _store_summary(serving) -> str | None:
+    """One line of persistent-store counters from the serving stats.
+
+    Works across the three stats shapes: the in-process registry
+    carries its lifetime counters directly; the sharded/SLO frontends
+    carry per-shard registries (plus the inline fallback's) that fold
+    into one lifetime here.
+    """
+    if serving is None:
+        return None
+    if hasattr(serving, "per_shard"):
+        parts = [s for s in serving.per_shard if s is not None]
+        if serving.fallback is not None:
+            parts.append(serving.fallback)
+        if not parts:
+            return None
+        lifetime = parts[0].lifetime
+        for part in parts[1:]:
+            lifetime = lifetime.merge(part.lifetime)
+    else:
+        lifetime = serving.lifetime
+    return (
+        f"persistent store: {lifetime.store_hits} hits / "
+        f"{lifetime.store_misses} misses, "
+        f"{lifetime.store_publishes} published, "
+        f"{lifetime.store_quarantined} quarantined, "
+        f"{lifetime.store_errors} io errors"
     )
 
 
@@ -124,6 +158,14 @@ def main(argv: list[str] | None = None) -> int:
         "(a missed deadline raises DeadlineExceeded)",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="table3: persist finished mappings to a crash-safe "
+        "artifact store at PATH; repeat runs answer known "
+        "(model, seed) searches from disk, bit-identically",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -169,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--deadline requires --slo")
         if args.deadline <= 0:
             parser.error("--deadline must be > 0")
+    if args.store is not None and args.experiment != "table3":
+        parser.error("--store applies to table3 only")
     if args.no_layer_cache and args.experiment == "table2":
         # table2 profiles designs without any mapping search; there is
         # no evaluator whose cache the flag could disable.
@@ -192,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
         models = tuple(args.models) if args.models else TABLE3_MODELS
         if args.combined and len(models) < 2:
             parser.error("--combined needs at least two models")
+        store = None
+        if args.store is not None:
+            from repro.core.store import StoreSpec
+
+            store = StoreSpec(path=args.store)
         result = run_table3(
             models=models,
             budget=budget,
@@ -203,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
             shards=args.shards,
             slo=args.slo,
             deadline=args.deadline,
+            store=store,
         )
         print(result.to_text())
         summary = _layer_cache_summary(
@@ -211,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
         if summary:
             print(summary)
         serving = result.serving
+        if args.store is not None:
+            store_line = _store_summary(serving)
+            if store_line:
+                print(store_line)
         if serving is not None and args.slo:
             print(
                 f"slo serving: {serving.active_shards} active shards "

@@ -32,6 +32,7 @@ from repro.core.serving import (
     ShardedServing,
     ShardedServingStats,
 )
+from repro.core.store import StoreSpec
 from repro.dnn import build_model
 from repro.dnn.models import TABLE3_MODELS
 from repro.dnn.multi import combine_graphs
@@ -117,6 +118,7 @@ def run_table3(
     shards: int | None = None,
     slo: bool = False,
     deadline: float | None = None,
+    store: StoreSpec | None = None,
 ) -> Table3Result:
     """Reproduce Table III (or a subset of its rows).
 
@@ -144,7 +146,10 @@ def run_table3(
     admission and scheduling change *when* searches run, never what
     they find, so the table is identical under any frontend (a search
     expired by a too-tight deadline raises instead of silently
-    dropping a row).
+    dropping a row). ``store`` attaches a persistent artifact store
+    (:class:`~repro.core.store.StoreSpec`): finished mappings are
+    written durably and later runs with the same spec answer repeat
+    (model, seed) requests from disk — verified, bit-identical, no GA.
     """
     topology = topology or f1_16xlarge()
     budget = budget or SearchBudget.fast()
@@ -163,7 +168,11 @@ def run_table3(
         session_capacity if session_capacity is not None else len(graphs)
     )
     config = SearchConfig.from_kwargs(
-        designs=designs, budget=budget, options=options, capacity=capacity
+        designs=designs,
+        budget=budget,
+        options=options,
+        capacity=capacity,
+        store=store,
     )
     if slo and shards is None:
         raise ValueError("slo routing requires shards")
@@ -214,5 +223,10 @@ def run_table3(
                     mapping_found=mars.describe(),
                 )
             )
-        result.serving = server.stats()
+        if slo and store is not None:
+            # The store counters live in the shard workers' registries;
+            # the SLO frontend only ships them on request.
+            result.serving = server.stats(worker_stats=True)
+        else:
+            result.serving = server.stats()
     return result

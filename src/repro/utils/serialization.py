@@ -15,6 +15,14 @@ configuration later or to diff two searches. The schema is plain JSON:
   ]
 }
 ```
+
+The workload/system content fingerprints embedded by
+:func:`mapping_to_dict` make loading *self-verifying*: a mapping saved
+for a structurally different graph or system is rejected instead of
+silently pricing garbage. This is the schema the persistent artifact
+store (:mod:`repro.core.store`) moves mappings through — every store
+hit passes this layer's fingerprint checks against the requesting
+session's own objects.
 """
 
 from __future__ import annotations
@@ -36,6 +44,35 @@ from repro.system.topology import SystemTopology
 from repro.utils.validation import require
 
 _DIM_BY_VALUE = {dim.value: dim for dim in LoopDim}
+
+
+def _require_content_match(
+    kind: str,
+    stored_name: object,
+    actual_name: str,
+    stored_fp: object,
+    actual_fp: str,
+) -> None:
+    """Reject a stored decision that names or fingerprints the wrong
+    ``kind`` (workload/system).
+
+    Names are checked first (the legacy contract), then the content
+    fingerprint when the payload carries one — a payload saved before
+    fingerprints existed (no ``*_fingerprint`` key, ``stored_fp`` is
+    ``None``) keeps loading on the name check alone.
+    """
+    require(
+        stored_name == actual_name,
+        f"mapping was saved for {kind} {stored_name!r}, "
+        f"got {actual_name!r}",
+    )
+    require(
+        stored_fp is None or stored_fp == actual_fp,
+        f"mapping was saved for {kind} {stored_name!r} with "
+        f"fingerprint {stored_fp}, but the provided {kind} "
+        f"{actual_name!r} has fingerprint {actual_fp} — the "
+        f"{kind} definition changed since the mapping was saved",
+    )
 
 
 def strategy_to_dict(strategy: ParallelismStrategy) -> dict[str, Any]:
@@ -100,31 +137,19 @@ def mapping_from_dict(
     fingerprints existed (no ``*_fingerprint`` keys) keep loading on
     the name check alone.
     """
-    require(
-        data.get("workload") == graph.name,
-        f"mapping was saved for workload {data.get('workload')!r}, "
-        f"got {graph.name!r}",
+    _require_content_match(
+        "workload",
+        data.get("workload"),
+        graph.name,
+        data.get("workload_fingerprint"),
+        graph.fingerprint(),
     )
-    require(
-        data.get("system") == topology.name,
-        f"mapping was saved for system {data.get('system')!r}, "
-        f"got {topology.name!r}",
-    )
-    stored_graph_fp = data.get("workload_fingerprint")
-    require(
-        stored_graph_fp is None or stored_graph_fp == graph.fingerprint(),
-        f"mapping was saved for workload {data.get('workload')!r} with "
-        f"fingerprint {stored_graph_fp}, but the provided graph "
-        f"{graph.name!r} has fingerprint {graph.fingerprint()} — the "
-        "model definition changed since the mapping was saved",
-    )
-    stored_system_fp = data.get("system_fingerprint")
-    require(
-        stored_system_fp is None or stored_system_fp == topology.fingerprint(),
-        f"mapping was saved for system {data.get('system')!r} with "
-        f"fingerprint {stored_system_fp}, but the provided topology "
-        f"{topology.name!r} has fingerprint {topology.fingerprint()} — the "
-        "system definition changed since the mapping was saved",
+    _require_content_match(
+        "system",
+        data.get("system"),
+        topology.name,
+        data.get("system_fingerprint"),
+        topology.fingerprint(),
     )
     by_name = {design.name: design for design in designs}
     assignments = []

@@ -268,3 +268,74 @@ class TestWorkerInternBound:
             parent.close()
             worker.join(timeout=60)
         assert not worker.is_alive()
+
+
+class TestRespawnBackoff:
+    """Crash respawns back off: bounded exponential, deterministic
+    jitter, every delay visible in stats — a deterministically-crashing
+    worker costs a slowing cycle, not a hot spawn/die loop."""
+
+    def test_consecutive_crashes_back_off_with_recorded_delays(self):
+        from repro.utils.rng import stable_seed
+
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            delays = []
+            frontend._sleep = delays.append  # record instead of sleeping
+            _same_result(
+                frontend.submit(CNN, seed=0).result(timeout=240),
+                fresh(CNN, 0),
+            )
+            for _ in range(2):  # == default SHARD_RESPAWN_LIMIT
+                frontend._handles[0].process.kill()
+                _same_result(
+                    frontend.submit(CNN, seed=0).result(timeout=240),
+                    fresh(CNN, 0),
+                )
+            stats = frontend.stats()
+        assert stats.respawns == 2
+        assert len(delays) == 2
+        for attempt, delay in enumerate(delays):
+            nominal = min(2.0, 0.05 * 2.0**attempt)
+            jitter = 0.5 + (
+                stable_seed("respawn-jitter", 0, attempt) % 4096
+            ) / 8192.0
+            assert delay == pytest.approx(nominal * jitter)
+            assert 0.5 * nominal <= delay < nominal  # jittered in [.5, 1)
+        # Doubling nominals with jitter < 1 keeps the windows disjoint:
+        # every delay strictly exceeds its predecessor.
+        assert delays[1] > delays[0]
+        # The last delay per shard is stats-visible.
+        assert stats.respawn_backoff == (pytest.approx(delays[-1]),)
+
+    def test_quiet_shards_report_zero_backoff(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            serving.search(CNN, seed=0)
+            stats = serving.stats()
+        assert stats.respawn_backoff == (0.0, 0.0)
+        assert stats.respawns == 0
+
+
+class TestSwallowedErrorVisibility:
+    """Exceptions absorbed on teardown/respawn paths (formerly bare
+    ``pass`` sites) are counted per shard and surfaced by ``stats()``
+    on both frontends."""
+
+    def test_sharded_stats_surface_absorbed_errors(self):
+        with ShardedServing(TOPOLOGY, shards=2) as serving:
+            assert serving.stats().swallowed_errors == (0, 0)
+            # Count exactly as the absorb sites do.
+            serving._handles[1].swallowed += 3
+            assert serving.stats().swallowed_errors == (0, 3)
+
+    def test_slo_stats_surface_absorbed_errors(self):
+        with SloServing(TOPOLOGY, shards=1) as frontend:
+            assert frontend.stats().swallowed_errors == (0,)
+            frontend._handles[0].swallowed += 1
+            assert frontend.stats().swallowed_errors == (1,)
+
+    def test_clean_lifecycle_absorbs_nothing(self):
+        serving = ShardedServing(TOPOLOGY, shards=1)
+        serving.search(CNN, seed=0)
+        stats = serving.stats()
+        serving.close()
+        assert stats.swallowed_errors == (0,)

@@ -187,3 +187,128 @@ class TestSearchResultRoundTrip:
         assert evaluator.evaluate_mapping(
             restored
         ).latency_seconds == pytest.approx(result.evaluation.latency_seconds)
+
+
+def _random_strategy(rng):
+    """A random valid (ES, SS) pair, ES in canonical loop order.
+
+    Canonical order matters for the bit-identity property: the schema
+    stores ``canonical_es()``, so only canonically-ordered strategies
+    can round-trip to an *equal* object (the GA only ever emits those).
+    """
+    from repro.dnn.layers import LOOP_DIMS
+
+    chosen = set(rng.sample(LOOP_DIMS, rng.randint(0, 2)))
+    es = tuple(dim for dim in LOOP_DIMS if dim in chosen)
+    rest = [dim for dim in LOOP_DIMS if dim not in chosen]
+    ss = rng.choice(rest) if rng.random() < 0.5 else None
+    return ParallelismStrategy(es=es, ss=ss)
+
+
+def _random_mapping(rng, graph, topology, designs):
+    """A random *valid* mapping: contiguous layer partition, disjoint
+    accelerator subsets, random designs, random per-layer strategies."""
+    order = graph.topological_order()
+    n = len(order)
+    sets = rng.randint(1, min(4, n, topology.num_accelerators))
+    cuts = sorted(rng.sample(range(1, n), sets - 1))
+    bounds = [0, *cuts, n]
+    ids = list(range(topology.num_accelerators))
+    rng.shuffle(ids)
+    assignments, dealt = [], 0
+    for i in range(sets):
+        sets_left_after = sets - i - 1
+        take = rng.randint(1, len(ids) - dealt - sets_left_after)
+        accs = tuple(sorted(ids[dealt:dealt + take]))
+        dealt += take
+        names = order[bounds[i]:bounds[i + 1]]
+        strategies = {
+            name: _random_strategy(rng)
+            for name in rng.sample(names, rng.randint(0, len(names)))
+        }
+        assignments.append(
+            SetAssignment(
+                LayerRange(bounds[i], bounds[i + 1]),
+                AcceleratorSet(accs),
+                rng.choice(designs),
+                strategies=strategies,
+            )
+        )
+    return Mapping(graph=graph, topology=topology, assignments=assignments)
+
+
+_ZOO_CACHE: dict = {}
+
+
+def _zoo(name):
+    if name not in _ZOO_CACHE:
+        _ZOO_CACHE[name] = build_model(name)
+    return _ZOO_CACHE[name]
+
+
+class TestRandomizedRoundTrip:
+    """Property: JSON round-trips are bit-identical over randomized
+    valid mappings drawn across the model zoo — every layer partition,
+    accelerator subset, design choice and strategy annotation survives
+    save/load exactly, including through the fingerprint checks."""
+
+    MODELS = ("tiny_cnn", "tiny_resnet", "alexnet", "casia_surf")
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_round_trip_is_bit_identical(self, model_name, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = _zoo(model_name)
+        topology = f1_16xlarge()
+        designs = table2_designs()
+        mapping = _random_mapping(rng, graph, topology, designs)
+        text = mapping_to_json(mapping)
+        restored = mapping_from_json(text, graph, topology, designs)
+        # The serialized forms are byte-equal — the strongest
+        # round-trip statement the schema can make.
+        assert mapping_to_json(restored) == text
+        assert len(restored.assignments) == len(mapping.assignments)
+        for original, loaded in zip(
+            mapping.assignments, restored.assignments
+        ):
+            assert loaded.layer_range == original.layer_range
+            assert loaded.acc_set == original.acc_set
+            assert loaded.design.name == original.design.name
+            assert loaded.strategies == original.strategies
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_legacy_payload_without_fingerprints_round_trips(
+        self, model_name
+    ):
+        import json
+        import random
+
+        rng = random.Random(7)
+        graph = _zoo(model_name)
+        topology = f1_16xlarge()
+        designs = table2_designs()
+        mapping = _random_mapping(rng, graph, topology, designs)
+        data = json.loads(mapping_to_json(mapping))
+        del data["workload_fingerprint"]
+        del data["system_fingerprint"]
+        restored = mapping_from_json(
+            json.dumps(data), graph, topology, designs
+        )
+        assert restored.assignments == mapping.assignments
+
+    def test_cross_model_payload_is_rejected(self):
+        import random
+
+        rng = random.Random(11)
+        topology = f1_16xlarge()
+        designs = table2_designs()
+        mapping = _random_mapping(rng, _zoo("tiny_cnn"), topology, designs)
+        with pytest.raises(ValueError, match="workload"):
+            mapping_from_json(
+                mapping_to_json(mapping),
+                _zoo("tiny_resnet"),
+                topology,
+                designs,
+            )
