@@ -26,6 +26,14 @@ mixes:
   requests at their resolve time, so expiry cannot flatter either
   side.
 
+A separate leg, ``bench_serving_stalled_shard``, replays one arrival
+schedule twice — once clean, once with a planned mid-run worker hang
+(:class:`repro.core.FaultPlan`) — and gates that the liveness layer
+bounds the damage: every future still resolves, the hang is detected
+and counted, and the stalled run's p99 exceeds the clean run's by at
+most the recovery ceiling (stall budget + escalation graces + respawn
+slack, env-tunable).
+
 Every mix reports p50/p99 latency, throughput and shed rate, and the
 lifecycle counters must reconcile exactly after the drain
 (``submitted == completed + shed + expired``, asserted). Headline
@@ -42,7 +50,11 @@ import time
 from repro.core import (
     AdmissionRejected,
     DeadlineExceeded,
+    FaultPlan,
+    FaultSpec,
+    LivenessPolicy,
     Mars,
+    SearchConfig,
     SloServing,
     TrafficPolicy,
 )
@@ -366,3 +378,135 @@ def bench_serving_traffic_mixes(benchmark):
             f"EDF premium p99 gain {gain:.2f}x < {min_gain:.2f}x "
             f"(EDF {edf_p99:.1f} ms, FIFO {fifo_p99:.1f} ms, {cpus} cpus)"
         )
+
+
+def bench_serving_stalled_shard(benchmark):
+    """One arrival schedule, clean vs. mid-run hung shard: bounded p99.
+
+    The hang is a planned fault (exact request coordinate, not a
+    race): the worker serving the single tenant wedges a third of the
+    way into the timed run, the watchdog classifies it hung within the
+    (real, sub-second) stall budget, kill-escalates it, and the cold
+    replacement re-serves the in-flight request plus the backlog that
+    piled up behind it. The gate is the liveness contract in latency
+    terms: the stalled run completes every request and its p99 sits
+    within a fixed recovery ceiling of the clean run's.
+    """
+    shards = _shard_count()
+    topology = f1_16xlarge()
+    budget = quick_budget()
+    count = max(12, _request_count() // 2)
+    name = TENANTS[0]
+    graphs = {name: build_model(name)}
+
+    stall_budget = float(os.environ.get("REPRO_STALL_BUDGET", "1.0"))
+    term_grace = float(os.environ.get("REPRO_STALL_TERM_GRACE", "0.5"))
+    # Covers the respawn: backoff, interpreter boot, registry rebuild,
+    # and re-serving the request the hang ate (cold caches).
+    slack_s = float(os.environ.get("REPRO_STALL_SLACK", "15.0"))
+    liveness = LivenessPolicy(
+        stall_budget=stall_budget,
+        poll_interval=0.02,
+        term_grace=term_grace,
+        beacon_interval=0.05,
+        spawn_grace=120.0,
+    )
+    # Requests served by the doomed worker before the timed schedule:
+    # the warm loop plus the service-time probes, all single-tenant so
+    # they land on the same shard the schedule does.
+    warm_requests = len(SEEDS) + 5
+    fault_at = warm_requests + max(2, count // 3)
+    plan = FaultPlan(
+        faults=(FaultSpec(kind="hang", at_request=fault_at, shard=None),)
+    )
+
+    results: dict = {}
+    schedule = None
+    for leg, faults in (("clean", None), ("stalled", plan)):
+        config = SearchConfig.from_kwargs(budget=budget, faults=faults)
+        with SloServing(
+            topology,
+            shards=shards,
+            config=config,
+            liveness=liveness,
+            policy=TrafficPolicy(queue_depth=4096, max_inflight=4096),
+        ) as frontend:
+            for seed in SEEDS:
+                frontend.search(graphs[name], seed=seed)
+            start = time.perf_counter()
+            for index in range(5):
+                frontend.search(
+                    graphs[name], seed=SEEDS[index % len(SEEDS)]
+                )
+            service_s = max((time.perf_counter() - start) / 5, 1e-3)
+            if schedule is None:
+                # Calibrated once, replayed verbatim for both legs so
+                # the comparison is fault-vs-no-fault only.
+                rate = 0.7 / service_s
+
+                def stalled_request(index, rng):
+                    return (name, rng.choice(SEEDS), None, "any")
+
+                schedule = _poisson_schedule(
+                    random.Random(7), count, rate, stalled_request
+                )
+            if leg == "clean":
+                benchmark.pedantic(
+                    lambda: frontend.search(graphs[name], seed=0),
+                    rounds=1,
+                    iterations=1,
+                )
+            records, duration, stats = _drive(frontend, graphs, schedule)
+            metrics = _mix_metrics(records, duration, stats)
+            metrics["hangs"] = sum(stats.hangs)
+            metrics["kill_escalations"] = sum(stats.kill_escalations)
+            metrics["respawns"] = stats.respawns
+            metrics["beacons"] = sum(stats.beacons)
+            metrics["unacked_shutdowns"] = sum(stats.unacked_shutdowns)
+            results[leg] = metrics
+
+    clean, stalled = results["clean"], results["stalled"]
+    # The fault fired exactly once, was detected, and cost one respawn;
+    # nothing was shed or expired and every schedule request completed.
+    assert clean["hangs"] == 0 and clean["respawns"] == 0
+    assert stalled["hangs"] == 1, stalled
+    assert stalled["respawns"] >= 1, stalled
+    assert stalled["shed"] == 0 and stalled["expired"] == 0, stalled
+    # Every admitted request completed in both legs — the hang cost
+    # latency, never a result.
+    assert clean["completed"] == clean["requests"], clean
+    assert stalled["completed"] == stalled["requests"], stalled
+    ceiling_ms = (stall_budget + 2.0 * term_grace + slack_s) * 1e3
+    assert stalled["p99_ms"] <= clean["p99_ms"] + ceiling_ms, (
+        f"stalled p99 {stalled['p99_ms']:.1f} ms exceeds clean "
+        f"{clean['p99_ms']:.1f} ms by more than the recovery ceiling "
+        f"{ceiling_ms:.0f} ms"
+    )
+
+    lines = [
+        "Stalled-shard recovery: one planned mid-run hang "
+        f"({count} requests, {shards} shards, "
+        f"stall budget {stall_budget:.1f}s)",
+    ]
+    for leg in ("clean", "stalled"):
+        metric = results[leg]
+        lines.append(
+            f"{leg:8s}: p50 {metric['p50_ms']:8.1f} ms  "
+            f"p99 {metric['p99_ms']:8.1f} ms  "
+            f"hangs {metric['hangs']}  respawns {metric['respawns']}"
+        )
+    emit("serving_stall", "\n".join(lines) + "\n")
+    payload = {
+        "shards": shards,
+        "requests": count,
+        "stall_budget_s": stall_budget,
+        "term_grace_s": term_grace,
+        "recovery_ceiling_ms": ceiling_ms,
+        "clean": clean,
+        "stalled": stalled,
+    }
+    emit_json("serving_stall", payload)
+    emit_trajectory("serving_stall", payload, path=SERVING_TRAJECTORY_PATH)
+    benchmark.extra_info["clean_p99_ms"] = round(clean["p99_ms"], 1)
+    benchmark.extra_info["stalled_p99_ms"] = round(stalled["p99_ms"], 1)
+    benchmark.extra_info["hang_recovery_ceiling_ms"] = round(ceiling_ms)

@@ -11,11 +11,14 @@ the entry point; the submodules expose each piece for direct use:
 * :mod:`repro.core.session` — warm-search sessions for server workloads.
 * :mod:`repro.core.serving` — the multi-tenant session registry.
 * :mod:`repro.core.frontend` — the SLO-aware async traffic layer.
+* :mod:`repro.core.health` — liveness: watchdog, beacons, escalation.
+* :mod:`repro.core.faults` — deterministic fault injection for tests.
 * :mod:`repro.core.store` — the crash-safe persistent artifact store.
 * :mod:`repro.core.baselines` — comparison mappers.
 """
 
 from repro.core.config import SearchConfig
+from repro.core.faults import FaultPlan, FaultSpec
 from repro.core.evaluator import (
     EvaluatorOptions,
     LayerCacheStats,
@@ -37,6 +40,7 @@ from repro.core.frontend import (
     TenantQueueFull,
     TrafficPolicy,
 )
+from repro.core.health import LivenessPolicy, WorkerHung
 from repro.core.mapper import Mars, MarsResult
 from repro.core.serving import (
     MultiModelSession,
@@ -70,8 +74,11 @@ __all__ = [
     "AdmissionRejected",
     "DeadlineExceeded",
     "EvaluatorOptions",
+    "FaultPlan",
+    "FaultSpec",
     "LayerCacheStats",
     "LayerRange",
+    "LivenessPolicy",
     "Mapping",
     "MappingEvaluation",
     "MappingEvaluator",
@@ -97,6 +104,7 @@ __all__ = [
     "StoreStats",
     "TenantQueueFull",
     "TrafficPolicy",
+    "WorkerHung",
     "cached_sharding_plan",
     "enumerate_strategies",
     "feasible_strategies",

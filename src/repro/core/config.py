@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
 from repro.core.evaluator import EvaluatorOptions
+from repro.core.faults import FaultPlan
 from repro.core.ga.level1 import SearchBudget
 from repro.core.store import StoreSpec
 from repro.utils.rng import stable_digest
@@ -86,6 +87,12 @@ class SearchConfig:
             state). Like the capacities, the store changes wall-clock
             only, never results, and is therefore excluded from
             :meth:`fingerprint`.
+        faults: A :class:`~repro.core.faults.FaultPlan` of deterministic
+            failures shard workers inject while serving (``None`` — the
+            default — serves faithfully). A test/bench knob: it rides
+            the config across the spawn boundary but, like ``store``,
+            is excluded from both fingerprints, so planned faults never
+            perturb content addressing or stored-artifact keys.
     """
 
     designs: tuple[AcceleratorDesign, ...] = field(
@@ -100,6 +107,7 @@ class SearchConfig:
     capacity: int = DEFAULT_CAPACITY
     subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY
     store: StoreSpec | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.designs, tuple):
@@ -127,6 +135,7 @@ class SearchConfig:
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
         store: StoreSpec | None = None,
+        faults: FaultPlan | None = None,
     ) -> "SearchConfig":
         """The bundle of the facades' historical loose kwargs.
 
@@ -144,6 +153,7 @@ class SearchConfig:
             capacity=capacity,
             subproblem_capacity=subproblem_capacity,
             store=store,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------

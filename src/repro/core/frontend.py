@@ -81,6 +81,7 @@ from repro.core.config import (
 )
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga.level1 import SearchBudget
+from repro.core.health import LivenessPolicy
 from repro.core.serving import (
     _LIVE_FRONTENDS,
     ServingStats,
@@ -253,6 +254,12 @@ class SloServingStats:
 
     holds at every instant (counters move under one lock), and after a
     drain (``close()`` or quiescence) the in-flight terms are zero.
+    Liveness events don't add terms: a request whose worker was
+    hang-killed stays ``running`` while the watchdog escalates and the
+    respawned worker (or inline fallback) re-serves it, then resolves
+    into ``completed``/``failed`` like any other — ``hangs``/
+    ``kill_escalations`` count *workers*, not requests
+    (property-tested in ``tests/core/test_health.py``).
     """
 
     #: The dispatch discipline in force (``"edf"`` or ``"fifo"``).
@@ -296,6 +303,21 @@ class SloServingStats:
     #: Most recent crash-respawn backoff delay per shard (seconds; 0.0
     #: for a shard that never crash-respawned).
     respawn_backoff: tuple[float, ...] = ()
+    #: Workers classified hung (silent past the stall budget) and
+    #: killed by the watchdog, per shard. A hang-killed request is
+    #: re-served by the respawned worker (or the inline fallback), so
+    #: it still resolves into ``completed``/``failed`` — hangs never
+    #: add a term to the reconciliation identity.
+    hangs: tuple[int, ...] = ()
+    #: Worker reaps that needed the SIGKILL escalation rung, per shard.
+    kill_escalations: tuple[int, ...] = ()
+    #: Malformed worker replies (protocol desync), per shard.
+    corrupt_replies: tuple[int, ...] = ()
+    #: Heartbeat beacons consumed per shard.
+    beacons: tuple[int, ...] = ()
+    #: Graceful shutdowns the worker never acked with ``"bye"``,
+    #: per shard.
+    unacked_shutdowns: tuple[int, ...] = ()
 
     @property
     def in_flight(self) -> int:
@@ -331,9 +353,13 @@ class SloServing(_ShardPool):
             demand and drain back when idle.
         policy: The :class:`TrafficPolicy` (admission bounds,
             scheduling discipline, autoscale thresholds).
-        clock: Monotonic time source for deadlines (injectable for
-            deterministic tests). Deadlines passed to :meth:`submit`
-            are *relative seconds* on this clock.
+        clock: Monotonic time source for deadlines — and for the hang
+            watchdog's stall deadlines (injectable for deterministic
+            tests). Deadlines passed to :meth:`submit` are *relative
+            seconds* on this clock.
+        liveness: The :class:`~repro.core.health.LivenessPolicy`
+            governing the hang watchdog, heartbeat beacons and the
+            SIGTERM→SIGKILL escalation ladder (defaults apply one).
 
     Lifecycle: :meth:`close` stops admission (further submits raise
     :class:`RuntimeError`), lets every queued request resolve — by
@@ -363,6 +389,7 @@ class SloServing(_ShardPool):
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        liveness: LivenessPolicy | None = None,
     ) -> None:
         require_positive(shards, "shards")
         if max_shards is None:
@@ -383,7 +410,18 @@ class SloServing(_ShardPool):
                 capacity=capacity,
                 subproblem_capacity=subproblem_capacity,
             )
-        super().__init__(topology, max_shards, config, mp_context)
+        # The deadline clock doubles as the watchdog's health clock:
+        # one injected fake clock drives both deadline expiry and hang
+        # detection in tests, and in production both are monotonic
+        # seconds anyway.
+        super().__init__(
+            topology,
+            max_shards,
+            config,
+            mp_context,
+            liveness=liveness,
+            clock=clock,
+        )
         self.min_shards = shards
         self.max_shards = max_shards
         self.policy = policy if policy is not None else TrafficPolicy()
@@ -967,6 +1005,15 @@ class SloServing(_ShardPool):
                 ),
                 respawn_backoff=tuple(
                     h.last_backoff for h in self._handles
+                ),
+                hangs=tuple(h.hangs for h in self._handles),
+                kill_escalations=tuple(
+                    h.escalations for h in self._handles
+                ),
+                corrupt_replies=tuple(h.corrupt for h in self._handles),
+                beacons=tuple(h.beacons for h in self._handles),
+                unacked_shutdowns=tuple(
+                    h.unacked for h in self._handles
                 ),
             )
 

@@ -136,6 +136,7 @@ class GeneticAlgorithm:
         backend: EvaluationBackend | None = None,
         batch_fitness: BatchFitness | None = None,
         key_fn: KeyFn | None = None,
+        on_generation: Callable[[int], None] | None = None,
     ):
         require_positive(genome_length, "genome_length")
         self.genome_length = genome_length
@@ -156,6 +157,11 @@ class GeneticAlgorithm:
             else (None if batch_fitness is not None else make_backend(config, key_fn))
         )
         self._batch_evaluations = 0
+        # Pure observation hook, called after each population evaluation
+        # with the number of generations evaluated so far. It must never
+        # consume engine RNG — liveness beacons ride it (see
+        # repro.core.health) and must not perturb search trajectories.
+        self.on_generation = on_generation
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -231,6 +237,8 @@ class GeneticAlgorithm:
     def _run(self, start: BackendStats) -> GAResult:
         population = self._initial_population()
         fitnesses = self._evaluate_population(population)
+        if self.on_generation is not None:
+            self.on_generation(0)
         best_index = int(np.argmin(fitnesses))
         best_genome = population[best_index].copy()
         best_fitness = float(fitnesses[best_index])
@@ -252,6 +260,8 @@ class GeneticAlgorithm:
                 next_population.append(child)
             population = np.array(next_population)
             fitnesses = self._evaluate_population(population)
+            if self.on_generation is not None:
+                self.on_generation(generations_run)
 
             generation_best = int(np.argmin(fitnesses))
             if fitnesses[generation_best] < best_fitness - 1e-15:

@@ -26,6 +26,7 @@ search.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 
@@ -148,6 +149,13 @@ class Level1Search:
     likewise lets an owner hand down one process pool for the level-2
     sub-GAs instead of this search spawning (and tearing down) its own;
     ``run()`` only closes a pool it built itself.
+
+    ``progress`` is a pure observation callback ``(phase, count)``
+    invoked after each level-1 generation and each level-2 sub-problem
+    solved on a cache miss. It must not consume search RNG; the serving
+    liveness layer plugs heartbeat beacons into it
+    (:class:`~repro.core.health.BeaconEmitter`), which is why it exists
+    as a field rather than ad-hoc instrumentation.
     """
 
     graph: ComputationGraph
@@ -166,6 +174,7 @@ class Level1Search:
     level2_backend: EvaluationBackend | None = None
     partitions: list[Partition] | None = None
     design_profile: WorkloadProfile | None = None
+    progress: Callable[[str, int], None] | None = None
 
     def __post_init__(self) -> None:
         require(
@@ -208,6 +217,7 @@ class Level1Search:
             for i, node in enumerate(self.graph.nodes())
             if node.is_compute
         ]
+        self._subproblems_solved = 0
 
     # ------------------------------------------------------------------
     # Genome layout
@@ -327,6 +337,9 @@ class Level1Search:
             backend=self._level2_pool,
         )
         self.solution_cache[key] = solution
+        self._subproblems_solved += 1
+        if self.progress is not None:
+            self.progress("level2-subproblem", self._subproblems_solved)
         return solution
 
     @staticmethod
@@ -438,6 +451,11 @@ class Level1Search:
                 rng=self.rng,
                 seeds=self.seed_genomes(),
                 backend=self.backend,
+                on_generation=(
+                    None
+                    if self.progress is None
+                    else lambda g: self.progress("level1-generation", g)
+                ),
             )
             result = ga.run()
             decoded = self.decode(result.best_genome)

@@ -65,7 +65,15 @@ from repro.core.config import (
     SearchConfig,
 )
 from repro.core.evaluator import EvaluatorOptions
+from repro.core.faults import execute_fault
 from repro.core.ga.level1 import SearchBudget
+from repro.core.health import (
+    BeaconEmitter,
+    LivenessPolicy,
+    WorkerHung,
+    stop_process,
+    wait_for_reply,
+)
 from repro.core.session import MarsResult, MarsSession, SessionStats
 from repro.dnn.graph import ComputationGraph
 from repro.system.topology import SystemTopology
@@ -350,15 +358,19 @@ class MultiModelSession:
         seed: int = 0,
         topology: SystemTopology | None = None,
         objective: str | None = None,
+        progress=None,
     ) -> MarsResult:
         """Route one search to its tenant's warm session.
 
         Bit-identical to a fresh :class:`~repro.core.mapper.Mars`
         search with the same configuration and seed, whether the tenant
-        was warm, cold, or rebuilt after eviction.
+        was warm, cold, or rebuilt after eviction. ``progress`` is the
+        pure-observation liveness callback forwarded down to
+        :meth:`MarsSession.search` — shard workers pass their heartbeat
+        emitter here.
         """
         result = self.session_for(graph, topology, objective).search(
-            seed=seed
+            seed=seed, progress=progress
         )
         self._searches += 1
         return result
@@ -446,7 +458,12 @@ class MultiModelSession:
 
 
 def _shard_worker(
-    conn, topology: SystemTopology, config: SearchConfig
+    conn,
+    topology: SystemTopology,
+    config: SearchConfig,
+    shard_index: int = 0,
+    incarnation: int = 0,
+    liveness: LivenessPolicy | None = None,
 ) -> None:
     """One shard process: a content-addressed registry behind a pipe.
 
@@ -473,9 +490,25 @@ def _shard_worker(
     only ``capacity`` warm sessions. Eviction only costs one re-ship on
     the workload's next request, through the same ``unknown_fp`` path
     a respawn uses.
+
+    Liveness: with a beacon-enabled ``liveness`` policy the worker
+    sends throttled ``("beacon", phase, count)`` heartbeats over this
+    same pipe while a search runs (between level-1 generations and
+    after level-2 sub-problem solves), so the frontend's watchdog can
+    tell a long search from a wedge. ``shard_index``/``incarnation``
+    identify this process to ``config.faults``: a matching
+    :class:`~repro.core.faults.FaultSpec` fires deterministically
+    before the Nth search request of this incarnation is served.
     """
     registry = MultiModelSession.from_config(topology, config)
     interned: OrderedDict[str, ComputationGraph] = OrderedDict()
+    beacon = (
+        BeaconEmitter(conn, liveness.beacon_interval)
+        if liveness is not None and liveness.beacons
+        else None
+    )
+    plan = config.faults
+    served = 0
     try:
         while True:
             try:
@@ -506,12 +539,22 @@ def _shard_worker(
                 interned.move_to_end(fp)
                 while len(interned) > registry.capacity:
                     interned.popitem(last=False)
+            if plan is not None:
+                spec = plan.fault_for(shard_index, incarnation, served)
+                if spec is not None and not execute_fault(spec, conn):
+                    # The fault produced (or suppressed) the reply
+                    # itself; the request still counts as served so
+                    # later fault coordinates stay stable.
+                    served += 1
+                    continue
+            served += 1
             try:
                 result = registry.search(
                     graph,
                     seed=seed,
                     topology=topology_override,
                     objective=objective,
+                    progress=beacon,
                 )
                 conn.send(("ok", result))
             except Exception as exc:  # tenant errors travel to the caller
@@ -519,6 +562,25 @@ def _shard_worker(
     finally:
         registry.close()
         conn.close()
+
+
+#: Every status a live worker may legally answer with.
+_VALID_STATUSES = frozenset({"ok", "error", "stats", "unknown_fp", "bye"})
+
+
+def _well_formed(response) -> bool:
+    """Whether a worker reply honors the ``(status, payload)`` protocol.
+
+    Anything else — wrong container, wrong arity, unknown status — is
+    protocol desync: the stream can no longer be trusted to frame
+    messages, so the round-trip treats the worker like a crash (kill,
+    respawn, resend) instead of guessing.
+    """
+    return (
+        isinstance(response, tuple)
+        and len(response) == 2
+        and response[0] in _VALID_STATUSES
+    )
 
 
 class _ShardHandle:
@@ -539,6 +601,13 @@ class _ShardHandle:
         "drained",
         "swallowed",
         "last_backoff",
+        "hangs",
+        "escalations",
+        "corrupt",
+        "beacons",
+        "unacked",
+        "fresh",
+        "waiting_since",
     )
 
     def __init__(self, index: int) -> None:
@@ -579,6 +648,27 @@ class _ShardHandle:
         #: replacing this shard's worker (seconds; 0.0 until the first
         #: crash respawn).
         self.last_backoff = 0.0
+        #: Workers of this shard classified hung (silent past the stall
+        #: budget) and killed by the watchdog.
+        self.hangs = 0
+        #: Reaps that needed the SIGKILL rung — the worker survived
+        #: both the graceful join and SIGTERM.
+        self.escalations = 0
+        #: Malformed replies received (protocol desync); each one costs
+        #: the worker its life and the request a respawn + resend.
+        self.corrupt = 0
+        #: Heartbeat beacons consumed from this shard's workers.
+        self.beacons = 0
+        #: Graceful shutdowns the worker never acked with ``"bye"``.
+        self.unacked = 0
+        #: True until the current worker incarnation sends anything —
+        #: its first reply gets the (larger) spawn-grace budget.
+        self.fresh = True
+        #: Health-clock timestamp since which the dispatcher has been
+        #: waiting on this worker (None when not waiting) — the
+        #: observability hook tests poll to synchronize with an
+        #: in-flight request.
+        self.waiting_since = None
 
     @property
     def alive(self) -> bool:
@@ -622,6 +712,21 @@ class ShardedServingStats:
     #: Most recent crash-respawn backoff delay per shard (seconds; 0.0
     #: for a shard that never crash-respawned).
     respawn_backoff: tuple[float, ...] = ()
+    #: Workers classified hung (silent past the stall budget) and
+    #: killed by the watchdog, per shard. Each hang also counts one
+    #: respawn (or engages the inline fallback past the limit).
+    hangs: tuple[int, ...] = ()
+    #: Worker reaps that needed the SIGKILL escalation rung, per shard.
+    kill_escalations: tuple[int, ...] = ()
+    #: Malformed worker replies (protocol desync), per shard; each
+    #: cost the worker its life and the request a respawn + resend.
+    corrupt_replies: tuple[int, ...] = ()
+    #: Heartbeat beacons consumed per shard — evidence the liveness
+    #: channel is actually flowing.
+    beacons: tuple[int, ...] = ()
+    #: Graceful shutdowns the worker never acked with ``"bye"``,
+    #: per shard.
+    unacked_shutdowns: tuple[int, ...] = ()
 
     @cached_property
     def merged(self) -> ServingStats:
@@ -724,6 +829,8 @@ class _ShardPool:
         shards: int,
         config: SearchConfig,
         mp_context: str = "spawn",
+        liveness: LivenessPolicy | None = None,
+        clock=time.monotonic,
     ) -> None:
         require_positive(shards, "shards")
         #: The canonical config every shard worker rebuilds its
@@ -731,6 +838,15 @@ class _ShardPool:
         self.config = config.canonical()
         self.topology = topology
         self.shards = shards
+        #: The liveness policy of this frontend — stall budget, beacon
+        #: protocol and kill-escalation graces (see
+        #: :class:`repro.core.health.LivenessPolicy`). Disable the
+        #: watchdog with ``LivenessPolicy(stall_budget=None)``.
+        self.liveness = liveness if liveness is not None else LivenessPolicy()
+        # The watchdog's deadline clock. Injectable so hang detection
+        # is testable without real multi-second waits; the real poll
+        # cadence stays poll_interval regardless.
+        self._health_clock = clock
         self._ctx = multiprocessing.get_context(mp_context)
         self._closed = False
         self._fallback: MultiModelSession | None = None
@@ -765,7 +881,18 @@ class _ShardPool:
         # ack and exit) before multiprocessing's own child join runs.
         process = self._ctx.Process(
             target=_shard_worker,
-            args=(child_conn, self.topology, self.config),
+            args=(
+                child_conn,
+                self.topology,
+                self.config,
+                handle.index,
+                # The incarnation coordinate fault plans key on: 0 for
+                # the original worker, advancing with every replacement
+                # (crash respawn or operator restart), so an injected
+                # fault does not re-fire in the respawned worker.
+                handle.respawns + handle.restarts,
+                self.liveness,
+            ),
             name=f"repro-shard-{handle.index}",
         )
         try:
@@ -779,11 +906,19 @@ class _ShardPool:
         child_conn.close()
         handle.interned.clear()  # a cold worker has interned nothing
         handle.drained = False
+        handle.fresh = True  # first reply gets the spawn-grace budget
         handle.process = process
         handle.conn = parent_conn
 
-    def _reap_worker(self, handle: _ShardHandle) -> None:
-        """Best-effort teardown of a dead or dying worker process."""
+    def _reap_worker(self, handle: _ShardHandle, graceful: bool = True) -> None:
+        """Teardown of a dead or dying worker — guaranteed, not
+        best-effort: the stop ladder ends in SIGKILL + join, so a
+        SIGTERM-ignoring worker cannot leak past this.
+
+        ``graceful=False`` skips the initial join window — for a worker
+        already classified hung, which by definition will not exit on
+        its own.
+        """
         if handle.conn is not None:
             try:
                 handle.conn.close()
@@ -791,26 +926,43 @@ class _ShardPool:
                 handle.swallowed += 1
             handle.conn = None
         if handle.process is not None:
-            handle.process.join(timeout=5)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=5)
+            if stop_process(
+                handle.process, self.liveness.term_grace, graceful=graceful
+            ):
+                # Needed the SIGKILL rung: count it both as an
+                # escalation and as absorbed teardown trouble.
+                handle.escalations += 1
+                handle.swallowed += 1
             handle.process = None
         # Whatever the old worker had interned died with it.
         handle.interned.clear()
 
     def _shutdown_worker(self, handle: _ShardHandle) -> None:
-        """Graceful worker shutdown: ask, wait for the ack, reap."""
+        """Graceful worker shutdown: ask, wait for the ack, reap.
+
+        The ack wait runs through the same stall budget as a request
+        (instead of the old fixed, result-ignored 30 s poll), so
+        ``close()`` on a hung fleet is bounded. A worker that never
+        acks ``"bye"`` is counted in ``unacked_shutdowns`` and reaped
+        without the graceful join window — it already proved it is not
+        listening.
+        """
         if handle.process is None:
             return
+        acked = False
         try:
             handle.conn.send(("shutdown",))
-            handle.conn.poll(30)
+            response = self._await_reply(handle)
+            acked = _well_formed(response) and response[0] == "bye"
+        except WorkerHung:
+            handle.hangs += 1
         except (BrokenPipeError, EOFError, OSError):
             # The worker died before (or while) acking — reaping below
             # still collects it; count the failed graceful path.
             handle.swallowed += 1
-        self._reap_worker(handle)
+        if not acked:
+            handle.unacked += 1
+        self._reap_worker(handle, graceful=acked)
 
     def _restart_worker(self, handle: _ShardHandle) -> None:
         """Operator-requested cold restart (doesn't count as a crash)."""
@@ -868,16 +1020,76 @@ class _ShardPool:
         handle.graph_ships += 1
         return request
 
+    def _await_reply(self, handle: _ShardHandle) -> tuple:
+        """One watchdog-guarded reply from the shard worker.
+
+        Poll-with-deadline on the injectable health clock instead of a
+        blocking ``recv()``: heartbeat beacons are consumed here (each
+        extends the deadline and counts on the handle), a fresh
+        incarnation's first message gets the spawn-grace budget, and a
+        worker silent past the budget raises
+        :class:`~repro.core.health.WorkerHung` to the crash policy.
+        ``waiting_since`` brackets the wait so tests (and operators)
+        can observe an in-flight request.
+        """
+        policy = self.liveness
+        budget = (
+            policy.first_reply_budget()
+            if handle.fresh
+            else policy.stall_budget
+        )
+
+        def on_beacon(message: tuple) -> None:
+            handle.beacons += 1
+            handle.fresh = False
+
+        handle.waiting_since = self._health_clock()
+        try:
+            response = wait_for_reply(
+                handle.conn,
+                policy,
+                self._health_clock,
+                budget,
+                on_beacon,
+            )
+        finally:
+            handle.waiting_since = None
+        handle.fresh = False
+        return response
+
+    def _crash_respawn(self, handle: _ShardHandle) -> None:
+        """Replace a reaped worker, applying backoff and the respawn
+        limit. Past the limit (or on a failed spawn) the handle stays
+        dead, so the caller's next loop serves inline."""
+        if handle.respawns < self.SHARD_RESPAWN_LIMIT:
+            delay = self._respawn_backoff(handle)
+            if delay > 0:
+                self._sleep(delay)
+            handle.respawns += 1
+            try:
+                self._spawn_worker(handle)
+            except Exception:
+                # Respawn itself failed (resource exhaustion): leave
+                # the handle dead so the next loop serves this request
+                # inline, like any other dead-shard path — the caller
+                # still gets its result.
+                handle.swallowed += 1
+
     def _roundtrip(self, handle: _ShardHandle, request: tuple) -> tuple:
         """Send one request to the shard worker; apply the crash policy.
 
-        A broken pipe means the worker died mid-request: reap it and —
-        up to :attr:`SHARD_RESPAWN_LIMIT` times — replace it cold and
-        re-send the request (results are identical, the rebuilt
+        Three failure classes, one recovery: a **broken pipe** (the
+        worker died mid-request), a **hang** (the watchdog saw neither
+        reply nor beacon within the stall budget — the worker is
+        kill-escalated first), and a **corrupt reply** (protocol
+        desync — the worker can no longer be trusted to frame
+        messages, so it is killed too). Each reaps the worker and — up
+        to :attr:`SHARD_RESPAWN_LIMIT` times — replaces it cold and
+        re-sends the request (results are identical, the rebuilt
         registry just starts with cold caches). Beyond the limit the
         shard serves inline through the fallback registry. A worker
-        answering ``unknown_fp`` (it raced a respawn) is re-shipped the
-        full graph.
+        answering ``unknown_fp`` (it raced a respawn) is re-shipped
+        the full graph.
         """
         while True:
             if not handle.alive:
@@ -894,23 +1106,20 @@ class _ShardPool:
                     return self._serve_inline(request)
             try:
                 handle.conn.send(self._wire_request(handle, request))
-                response = handle.conn.recv()
+                response = self._await_reply(handle)
+            except WorkerHung:
+                handle.hangs += 1
+                self._reap_worker(handle, graceful=False)
+                self._crash_respawn(handle)
+                continue
             except (BrokenPipeError, EOFError, OSError):
                 self._reap_worker(handle)
-                if handle.respawns < self.SHARD_RESPAWN_LIMIT:
-                    delay = self._respawn_backoff(handle)
-                    if delay > 0:
-                        self._sleep(delay)
-                    handle.respawns += 1
-                    try:
-                        self._spawn_worker(handle)
-                    except Exception:
-                        # Respawn itself failed (resource exhaustion):
-                        # leave the handle dead so the next loop serves
-                        # this request inline, like any other dead-shard
-                        # path — the caller still gets its result.
-                        handle.swallowed += 1
-                # else: handle stays dead; next iteration serves inline.
+                self._crash_respawn(handle)
+                continue
+            if not _well_formed(response):
+                handle.corrupt += 1
+                self._reap_worker(handle, graceful=False)
+                self._crash_respawn(handle)
                 continue
             if response[0] == "unknown_fp":
                 handle.interned.discard(response[1])
@@ -1003,6 +1212,13 @@ class ShardedServing(_ShardPool):
             loose kwargs :class:`MultiModelSession` takes, bundled into
             a config when ``config`` is not given. ``capacity`` bounds
             live tenants *per shard*.
+        liveness: The :class:`~repro.core.health.LivenessPolicy`
+            governing the hang watchdog, heartbeat beacons and the
+            SIGTERM→SIGKILL escalation ladder (defaults apply one; pass
+            ``LivenessPolicy(stall_budget=None)`` for the old blocking
+            behaviour).
+        clock: The watchdog's deadline clock (monotonic seconds) —
+            injectable so hang paths are testable without real waits.
     """
 
     DEFAULT_SHARDS = 2
@@ -1022,6 +1238,8 @@ class ShardedServing(_ShardPool):
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        liveness: LivenessPolicy | None = None,
+        clock=time.monotonic,
     ) -> None:
         if config is None:
             config = SearchConfig.from_kwargs(
@@ -1035,7 +1253,9 @@ class ShardedServing(_ShardPool):
                 capacity=capacity,
                 subproblem_capacity=subproblem_capacity,
             )
-        super().__init__(topology, shards, config, mp_context)
+        super().__init__(
+            topology, shards, config, mp_context, liveness=liveness, clock=clock
+        )
         self._submit_lock = threading.Lock()
         try:
             for handle in self._handles:
@@ -1228,6 +1448,11 @@ class ShardedServing(_ShardPool):
             fp_sends=tuple(h.fp_sends for h in self._handles),
             swallowed_errors=tuple(h.swallowed for h in self._handles),
             respawn_backoff=tuple(h.last_backoff for h in self._handles),
+            hangs=tuple(h.hangs for h in self._handles),
+            kill_escalations=tuple(h.escalations for h in self._handles),
+            corrupt_replies=tuple(h.corrupt for h in self._handles),
+            beacons=tuple(h.beacons for h in self._handles),
+            unacked_shutdowns=tuple(h.unacked for h in self._handles),
         )
 
     def close(self) -> None:

@@ -358,7 +358,7 @@ class MarsSession:
         )
         return self._level2_pool
 
-    def search(self, seed: int = 0) -> MarsResult:
+    def search(self, seed: int = 0, progress=None) -> MarsResult:
         """Run the two-level GA, reusing every warm cache of the session.
 
         Bit-identical to a fresh :class:`~repro.core.mapper.Mars` search
@@ -371,6 +371,11 @@ class MarsSession:
         result is published after. A broken store never raises here:
         failures downgrade to a normal fresh search (see
         :mod:`repro.core.store`).
+
+        ``progress`` is an optional pure-observation ``(phase, count)``
+        callback forwarded to :class:`Level1Search` — shard workers
+        plug liveness heartbeats into it. It must not consume search
+        RNG, and it never fires on a store hit (nothing runs).
         """
         require(not self._closed, "session is closed")
         if self._store is not None:
@@ -397,6 +402,7 @@ class MarsSession:
             level2_backend=self._level2_backend(),
             partitions=self._partitions,
             design_profile=self._design_profile,
+            progress=progress,
         )
         mapping, evaluation, ga_result = search.run()
         self._partitions = search.partitions
