@@ -45,6 +45,13 @@ SERVING_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_serving.json"
 #: artifact reuse across process trees, not kernel speed.
 STORE_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_store.json"
 
+#: The cost-model validation trajectory: per-step-pattern divergence
+#: between the analytical cost model and the event-driven simulator
+#: across a zoo sweep (``bench_costmodel.py``), plus the contention
+#: derates fitted from it. Its own file because it tracks model
+#: *fidelity*, not speed, and CI's validate job gates and uploads it.
+COSTMODEL_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_costmodel.json"
+
 
 def bench_workers() -> int:
     """GA evaluation workers for this run (``REPRO_BENCH_WORKERS``)."""

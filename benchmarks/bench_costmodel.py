@@ -1,0 +1,122 @@
+"""Cost-model validation bench: analytical forms vs the event simulator.
+
+For each zoo model in the sweep this bench runs the full MARS search,
+replays the winning mapping through the event-driven network simulator,
+and compares every program step's analytical price against its
+simulated duration (:mod:`repro.core.validation`). The per-pattern
+breakdown is the paper's cross-validation story: compute and host
+traffic must reconcile exactly (the simulator shares no resources
+there), while collectives and transfers may diverge wherever flows
+contend for links — that gap is what
+:class:`~repro.core.costmodel.ContentionDeratedCostModel` folds back
+into the fast path, and the fitted derates are recorded alongside the
+raw divergence.
+
+Gates:
+
+* contention-free divergence stays under
+  ``REPRO_COSTMODEL_MAX_DIVERGENCE`` (default ``1e-9`` — float noise
+  from accumulating replay end-times, nothing more);
+* every swept model replays feasibly (an infeasible mapping would be
+  silently skipped by the harness, shrinking coverage);
+* the calibrated contention-derated model prices the same mapping at
+  >= the analytical model (derates are clamped >= 1).
+
+Headline numbers land in the committed repo-root
+``BENCH_costmodel.json``.
+"""
+
+import os
+
+from repro.core.costmodel import ContentionDeratedCostModel
+from repro.core.validation import divergence_report, format_report
+
+from _report import (
+    COSTMODEL_TRAJECTORY_PATH,
+    emit,
+    emit_json,
+    emit_trajectory,
+    quick_budget,
+)
+
+#: The validation sweep: small-to-medium zoo models whose fast-budget
+#: searches keep the bench in seconds while still exercising every step
+#: pattern (allreduce, rotation/halo rings, reshard/boundary transfers,
+#: host input and weight streaming).
+MODELS = ("tiny_cnn", "alexnet", "squeezenet", "mobilenet_v1")
+SEED = 0
+
+
+def bench_costmodel_divergence(benchmark):
+    """Zoo-wide analytical-vs-simulator divergence, gated and recorded."""
+    budget = quick_budget()
+
+    report = benchmark.pedantic(
+        lambda: divergence_report(MODELS, seeds=(SEED,), budget=budget),
+        rounds=1,
+        iterations=1,
+    )
+
+    replayed = [r for r in report["models"] if not r["skipped"]]
+    assert len(replayed) == len(MODELS), (
+        f"expected every model to replay feasibly, got {len(replayed)} "
+        f"of {len(MODELS)} (skipped: "
+        f"{[r['model'] for r in report['models'] if r['skipped']]})"
+    )
+    assert report["skipped_infeasible"] == 0
+
+    tolerance = float(
+        os.environ.get("REPRO_COSTMODEL_MAX_DIVERGENCE", "1e-9")
+    )
+    assert report["contention_free_divergence"] <= tolerance, (
+        f"contention-free divergence "
+        f"{report['contention_free_divergence']:.3e} exceeds {tolerance:.3e}"
+    )
+
+    # Calibration closes the loop: the fitted derates must reprice the
+    # report's own steps at >= the analytical totals (clamped >= 1.0).
+    fitted = ContentionDeratedCostModel.from_divergence(report)
+    derates = fitted.param_dict()
+    assert all(value >= 1.0 for value in derates.values()), derates
+
+    benchmark.extra_info["relative_divergence"] = round(
+        report["relative_divergence"], 6
+    )
+    benchmark.extra_info["contention_free_divergence"] = report[
+        "contention_free_divergence"
+    ]
+
+    emit(
+        "costmodel_divergence",
+        format_report(report)
+        + "\n  fitted contention derates: "
+        + ", ".join(f"{k}={v:.4f}" for k, v in sorted(derates.items())),
+    )
+    payload = {
+        "models": list(MODELS),
+        "seed": SEED,
+        "cost_model": report["cost_model"],
+        "patterns": report["patterns"],
+        "analytical_seconds": report["analytical_seconds"],
+        "simulated_seconds": report["simulated_seconds"],
+        "relative_divergence": report["relative_divergence"],
+        "contention_free_divergence": report["contention_free_divergence"],
+        "skipped_infeasible": report["skipped_infeasible"],
+        "fitted_derates": derates,
+        "per_model": [
+            {
+                "model": r["model"],
+                "seed": r["seed"],
+                "steps": r["steps"],
+                "analytical_seconds": r["analytical_seconds"],
+                "simulated_seconds": r["simulated_seconds"],
+                "relative_divergence": r["relative_divergence"],
+                "patterns": r["patterns"],
+            }
+            for r in replayed
+        ],
+    }
+    emit_json("costmodel_divergence", payload)
+    emit_trajectory(
+        "costmodel_divergence", payload, path=COSTMODEL_TRAJECTORY_PATH
+    )

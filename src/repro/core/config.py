@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
+from repro.core.costmodel import CostModelSpec
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.faults import FaultPlan
 from repro.core.ga.level1 import SearchBudget
@@ -72,6 +73,15 @@ class SearchConfig:
         designs: Design catalog for adaptive systems (Table II default).
         budget: GA budgets for the two levels.
         options: Cost-model knobs.
+        cost_model: The :class:`~repro.core.costmodel.CostModelSpec`
+            naming the pricing model every evaluator built from this
+            config uses (``"analytical"`` by default — the paper's
+            closed forms, bit-identical to the historical hard-coded
+            walk). Unlike the wall-clock knobs, the cost model
+            *changes results*, so it participates in both
+            :meth:`fingerprint` and :meth:`result_fingerprint`:
+            sessions, tenant keys and persistent store artifacts
+            priced by different models never alias.
         objective: ``"latency"`` (paper) or ``"throughput"``.
         workers: Override both levels' evaluation parallelism
             (``None`` keeps the budget's values).
@@ -100,6 +110,7 @@ class SearchConfig:
     )
     budget: SearchBudget = field(default_factory=SearchBudget.fast)
     options: EvaluatorOptions = field(default_factory=EvaluatorOptions)
+    cost_model: CostModelSpec = field(default_factory=CostModelSpec)
     objective: str = "latency"
     workers: int | None = None
     cache: bool | None = None
@@ -128,6 +139,7 @@ class SearchConfig:
         designs: list[AcceleratorDesign] | tuple[AcceleratorDesign, ...] | None = None,
         budget: SearchBudget | None = None,
         options: EvaluatorOptions | None = None,
+        cost_model: CostModelSpec | None = None,
         objective: str = "latency",
         workers: int | None = None,
         cache: bool | None = None,
@@ -139,13 +151,14 @@ class SearchConfig:
     ) -> "SearchConfig":
         """The bundle of the facades' historical loose kwargs.
 
-        ``None`` means "the default" for designs/budget/options, exactly
-        as the kwarg constructors always treated it.
+        ``None`` means "the default" for designs/budget/options/
+        cost_model, exactly as the kwarg constructors always treated it.
         """
         return cls(
             designs=tuple(designs) if designs is not None else _default_designs(),
             budget=budget if budget is not None else SearchBudget.fast(),
             options=options if options is not None else EvaluatorOptions(),
+            cost_model=cost_model if cost_model is not None else CostModelSpec(),
             objective=objective,
             workers=workers,
             cache=cache,
@@ -197,10 +210,11 @@ class SearchConfig:
         """
         canonical = self.canonical()
         return stable_digest(
-            "search-config-v1",
+            "search-config-v2",
             tuple(repr(design) for design in canonical.designs),
             repr(canonical.budget),
             repr(canonical.options),
+            canonical.cost_model.token(),
             canonical.objective,
             canonical.capacity,
             canonical.subproblem_capacity,
@@ -223,7 +237,7 @@ class SearchConfig:
         canonical = self.canonical()
         defaults = EvaluatorOptions()
         return stable_digest(
-            "search-config-result-v1",
+            "search-config-result-v2",
             tuple(repr(design) for design in canonical.designs),
             repr(canonical.budget.with_backend(workers=1, cache=False)),
             repr(
@@ -233,5 +247,6 @@ class SearchConfig:
                     layer_cache_capacity=defaults.layer_cache_capacity,
                 )
             ),
+            canonical.cost_model.token(),
             canonical.objective,
         )

@@ -15,6 +15,16 @@ plus, at mapping level, set-to-set boundary transfers and the initial
 host input load. The same cost walk can emit an
 :class:`~repro.simulator.program.ExecutionProgram` so the event-driven
 simulator replays exactly what the analytical path priced.
+
+Pricing itself is delegated to a pluggable
+:class:`~repro.core.costmodel.CostModel`: the evaluator owns the *walk*
+(which operations happen, in what order, threading sharding state),
+while the model owns the *prices* (what each operation costs). The
+default :class:`~repro.core.costmodel.AnalyticalCostModel` reproduces
+the historical hard-coded behaviour bit-identically; see
+:mod:`repro.core.costmodel` for the interface contract and
+:mod:`repro.core.validation` for the simulator-replay harness that
+quantifies each model's divergence.
 """
 
 from __future__ import annotations
@@ -22,7 +32,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.accelerators.base import AcceleratorDesign, cached_conv_cycles
+from repro.accelerators.base import AcceleratorDesign
+from repro.core.costmodel import AnalyticalCostModel, CostModel, CostModelSpec
 from repro.core.formulation import Mapping, SetAssignment
 from repro.core.memory_check import SetMemoryReport, set_memory_report
 from repro.core.sharding import (
@@ -34,7 +45,6 @@ from repro.core.sharding import (
 )
 from repro.dnn.graph import ComputationGraph, LayerNode
 from repro.dnn.layers import LoopDim
-from repro.simulator.analytical import AnalyticalCommModel
 from repro.simulator.program import (
     CollectiveStep,
     ComputeStep,
@@ -74,9 +84,12 @@ class EvaluatorOptions:
             amortize the host bandwidth.
         layer_cache: Memoize per-layer cost computations in an
             evaluator-owned bounded LRU, keyed on (layer, strategy,
-            upstream sharding, accelerator set, design); the options
-            are part of the key by construction, being fixed for the
-            evaluator that owns the cache.
+            upstream sharding, accelerator set, design, cost model);
+            the options are part of the key by construction, being
+            fixed for the evaluator that owns the cache, while the
+            cost model — also fixed at construction — is part of the
+            key *explicitly* (its spec token), so entries can never
+            alias across models even if a cache were ever shared.
             Results are bit-identical with the cache on or off — a hit
             replays the exact floats of the original computation — so
             this is purely a wall-clock knob. Program emission
@@ -264,14 +277,21 @@ def _alignment_fraction(
 class MappingEvaluator:
     """Prices mappings on a system with a fixed workload.
 
+    The evaluator owns the cost *walk* — which operations a mapping
+    implies, in what order, threading sharding state between layers —
+    and delegates every price to a pluggable
+    :class:`~repro.core.costmodel.CostModel` (the default
+    :class:`~repro.core.costmodel.AnalyticalCostModel` reproduces the
+    historical inline pricing bit-identically).
+
     Layer costs are computed by a pure per-layer function and memoized
     in an evaluator-owned bounded LRU (see
     :attr:`EvaluatorOptions.layer_cache`): ``evaluate_set`` is a walk
     that threads sharding state through cached :class:`LayerCost`
     entries and only recomputes layers whose key — (layer, strategy,
-    upstream sharding, accelerator set, design) — changed; the options
-    are fixed at construction, so they are part of the key by
-    construction.
+    upstream sharding, accelerator set, design, cost-model token) —
+    changed; the options are fixed at construction, so they are part
+    of the key by construction.
     This is what makes GA mutations cheap: a genome that differs from
     an already-priced one in a single layer's strategy re-prices that
     layer (and any downstream layers whose upstream sharding shifted),
@@ -283,11 +303,21 @@ class MappingEvaluator:
         graph: ComputationGraph,
         topology: SystemTopology,
         options: EvaluatorOptions | None = None,
+        cost_model: CostModel | CostModelSpec | None = None,
     ):
         self.graph = graph
         self.topology = topology
         self.options = options or EvaluatorOptions()
-        self.comm = AnalyticalCommModel(topology)
+        if cost_model is None:
+            cost_model = AnalyticalCostModel(topology)
+        elif isinstance(cost_model, CostModelSpec):
+            cost_model = cost_model.build(topology)
+        #: The pluggable pricing model every cost below comes from.
+        self.cost_model = cost_model
+        # The model's identity participates in every layer-cache key:
+        # two evaluators priced by different models must never share
+        # cached entries, even through a (hypothetically) shared cache.
+        self._cost_token = cost_model.spec.token()
         self._nodes = graph.nodes()
         self._index = {node.name: i for i, node in enumerate(self._nodes)}
         if self.options.layer_cache:
@@ -448,9 +478,11 @@ class MappingEvaluator:
         # layer cache. The design keys by interned object identity —
         # not by name — so same-named design variants in a sweep never
         # share entries; options need no key part because they are
-        # fixed at construction and the cache is evaluator-owned.
+        # fixed at construction and the cache is evaluator-owned. The
+        # cost model, equally fixed, IS keyed (by spec token): pricing
+        # identity must hold even across a shared or migrated cache.
         cache = self._layer_cache if program is None else None
-        set_key = (accs, self._design_token(design))
+        set_key = (accs, self._design_token(design), self._cost_token)
         # Per-node output sharding; ``None`` marks "aligned with whatever
         # the consumer needs" (set entries and freshly loaded inputs,
         # whose distribution cost is charged elsewhere).
@@ -497,7 +529,8 @@ class MappingEvaluator:
                 # Every member streams its shard concurrently over its
                 # own host port; the set waits for the slowest.
                 load = max(
-                    self.comm.host_read_seconds(a, load_bytes) for a in accs
+                    self.cost_model.host_read_seconds(a, load_bytes)
+                    for a in accs
                 )
                 latency += load
                 if program is not None:
@@ -513,7 +546,9 @@ class MappingEvaluator:
             feasible = False
             if self.options.memory_spill:
                 spill = max(
-                    self.comm.host_round_trip_seconds(a, memory.overflow_bytes)
+                    self.cost_model.host_round_trip_seconds(
+                        a, memory.overflow_bytes
+                    )
                     for a in accs
                 )
                 latency += spill
@@ -740,13 +775,7 @@ class MappingEvaluator:
                 LayerCost(name=node.name, compute_seconds=INFEASIBLE_SECONDS),
                 None,
             )
-        compute = (
-            max(
-                cached_conv_cycles(d, plan.phase_spec) / d.frequency_hz
-                for d in designs
-            )
-            * plan.phases
-        )
+        compute = self.cost_model.conv_compute_seconds(designs, plan)
         cost = LayerCost(name=node.name, compute_seconds=compute, plan=plan)
 
         if self.options.include_resharding and upstream is not None:
@@ -756,7 +785,7 @@ class MappingEvaluator:
         if plan.allreduce_group > 1:
             groups = self._reduction_subgroups(accs, plan.allreduce_group)
             timed = [
-                (self.comm.allreduce_seconds(g, plan.allreduce_bytes), g)
+                (self.cost_model.allreduce_seconds(g, plan.allreduce_bytes), g)
                 for g in groups
             ]
             cost.allreduce_seconds, slowest_group = max(timed, key=lambda t: t[0])
@@ -772,7 +801,7 @@ class MappingEvaluator:
                     )
                 )
         if plan.phases > 1:
-            step = self.comm.ring_step_seconds(accs, plan.rotation_bytes)
+            step = self.cost_model.ring_step_seconds(accs, plan.rotation_bytes)
             cost.rotation_seconds = (plan.phases - 1) * step
             if program is not None:
                 for _ in range(plan.phases - 1):
@@ -785,7 +814,7 @@ class MappingEvaluator:
                         )
                     )
         if self.options.include_halo and plan.halo_bytes > 0:
-            cost.halo_seconds = self.comm.ring_step_seconds(
+            cost.halo_seconds = self.cost_model.ring_step_seconds(
                 accs, plan.halo_bytes
             )
             if program is not None:
@@ -830,7 +859,7 @@ class MappingEvaluator:
         missing_per_acc = needed_per_acc * (1.0 - local)
         if missing_per_acc <= 0:
             return 0.0
-        seconds = self.comm.set_to_set_seconds(
+        seconds = self.cost_model.transfer_seconds(
             accs, accs, input_bytes, bytes_per_dst=missing_per_acc
         )
         if program is not None:
@@ -854,8 +883,8 @@ class MappingEvaluator:
     ) -> LayerCost:
         numel = node.output_shape.numel if node.kind != "inputlayer" else 0
         shard_numel = math.ceil(numel / len(accs))
-        seconds = max(
-            math.ceil(shard_numel / d.num_pes) / d.frequency_hz for d in designs
+        seconds = self.cost_model.elementwise_compute_seconds(
+            designs, shard_numel
         )
         if program is not None and seconds > 0:
             program.append(
@@ -908,7 +937,7 @@ class MappingEvaluator:
             nbytes = node.output_shape.nbytes(self.options.dtype_bytes)
             per_acc = nbytes / assignment.acc_set.size
             acc = assignment.acc_set.accs[0]
-            seconds += self.comm.host_read_seconds(acc, per_acc)
+            seconds += self.cost_model.host_read_seconds(acc, per_acc)
             if program is not None:
                 program.append(
                     HostStep(
@@ -936,7 +965,7 @@ class MappingEvaluator:
             fraction = self._consumer_fraction(mapping, dst_assign)
             bytes_per_dst = total * fraction
             breakdown.append(
-                self.comm.set_to_set_seconds(
+                self.cost_model.transfer_seconds(
                     src_assign.acc_set.accs,
                     dst_assign.acc_set.accs,
                     total,

@@ -79,6 +79,7 @@ from repro.core.config import (
     DEFAULT_SUBPROBLEM_CAPACITY,
     SearchConfig,
 )
+from repro.core.costmodel import CostModelSpec
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga.level1 import SearchBudget
 from repro.core.health import LivenessPolicy
@@ -389,6 +390,7 @@ class SloServing(_ShardPool):
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        cost_model: CostModelSpec | None = None,
         liveness: LivenessPolicy | None = None,
     ) -> None:
         require_positive(shards, "shards")
@@ -403,6 +405,7 @@ class SloServing(_ShardPool):
                 designs=designs,
                 budget=budget,
                 options=options,
+                cost_model=cost_model,
                 objective=objective,
                 workers=workers,
                 cache=cache,
@@ -515,7 +518,14 @@ class SloServing(_ShardPool):
         topology: SystemTopology,
         objective: str,
     ) -> tuple:
-        return (graph.fingerprint(), topology.fingerprint(), objective)
+        # Mirrors ``MultiModelSession._key``: the cost-model token keeps
+        # tenants priced by different models from ever aliasing.
+        return (
+            graph.fingerprint(),
+            topology.fingerprint(),
+            objective,
+            self.config.cost_model.token(),
+        )
 
     def shard_of(
         self,

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import table2_designs
 from repro.core.config import DEFAULT_SUBPROBLEM_CAPACITY, SearchConfig
+from repro.core.costmodel import CostModelSpec
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.ga.level1 import SearchBudget
 from repro.core.session import MarsResult, MarsSession
@@ -64,6 +65,7 @@ class Mars:
     designs: list[AcceleratorDesign] = field(default_factory=table2_designs)
     budget: SearchBudget = field(default_factory=SearchBudget.fast)
     options: EvaluatorOptions = field(default_factory=EvaluatorOptions)
+    cost_model: CostModelSpec = field(default_factory=CostModelSpec)
     objective: str = "latency"
     workers: int | None = None
     cache: bool | None = None
@@ -102,6 +104,7 @@ class Mars:
             designs=list(config.designs),
             budget=config.budget,
             options=config.options,
+            cost_model=config.cost_model,
             objective=config.objective,
             subproblem_capacity=config.subproblem_capacity,
         )
@@ -113,6 +116,7 @@ class Mars:
             designs=self.designs,
             budget=self.budget,
             options=self.options,
+            cost_model=self.cost_model,
             objective=self.objective,
             workers=self.workers,
             cache=self.cache,

@@ -14,10 +14,12 @@ Two frontends close that gap:
   request to its tenant's warm session, building sessions lazily and
   evicting least-recently-used tenants beyond a configurable
   ``capacity``. Tenants are **content-addressed**: the key is
-  ``(graph.fingerprint(), topology.fingerprint(), objective)``, so two
-  structurally identical workloads share one warm tenant — and, unlike
-  the object-identity keys this registry used previously, the key
-  survives a pickle round-trip across a process boundary.
+  ``(graph.fingerprint(), topology.fingerprint(), objective,
+  cost_model.token())``, so two structurally identical workloads share
+  one warm tenant — and, unlike the object-identity keys this registry
+  used previously, the key survives a pickle round-trip across a
+  process boundary. Workloads priced by different cost models never
+  share a tenant.
 * :class:`ShardedServing` — the multi-process frontend: N shard worker
   processes, each hosting one ``MultiModelSession`` rebuilt from the
   same shipped :class:`~repro.core.config.SearchConfig`. Tenants are
@@ -64,6 +66,7 @@ from repro.core.config import (
     DEFAULT_SUBPROBLEM_CAPACITY,
     SearchConfig,
 )
+from repro.core.costmodel import CostModelSpec
 from repro.core.evaluator import EvaluatorOptions
 from repro.core.faults import execute_fault
 from repro.core.ga.level1 import SearchBudget
@@ -260,6 +263,7 @@ class MultiModelSession:
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        cost_model: CostModelSpec | None = None,
         config: SearchConfig | None = None,
     ) -> None:
         if config is None:
@@ -267,6 +271,7 @@ class MultiModelSession:
                 designs=designs,
                 budget=budget,
                 options=options,
+                cost_model=cost_model,
                 objective=objective,
                 workers=workers,
                 cache=cache,
@@ -312,7 +317,17 @@ class MultiModelSession:
         # Content-addressed: fingerprints survive pickling, so the same
         # workload routes to the same tenant no matter which process
         # (or which equal copy of the graph object) posed the request.
-        return (graph.fingerprint(), topology.fingerprint(), objective)
+        # The cost-model token rides along so sessions priced by
+        # different models can never share a tenant — the registry's
+        # config fixes one model today, but the key must stay honest
+        # under per-request config replacement (the objective already
+        # varies per request) and under any cross-registry aggregation.
+        return (
+            graph.fingerprint(),
+            topology.fingerprint(),
+            objective,
+            self.config.cost_model.token(),
+        )
 
     def session_for(
         self,
@@ -420,7 +435,7 @@ class MultiModelSession:
     def stats(self) -> ServingStats:
         """Registry counters plus per-tenant session counters."""
         per_tenant: dict[str, SessionStats] = {}
-        for (_, _, objective), tenant in self._tenants.items():
+        for (_, _, objective, _), tenant in self._tenants.items():
             base = tenant.graph.name
             if objective != self.objective:
                 base = f"{base}:{objective}"
@@ -1238,6 +1253,7 @@ class ShardedServing(_ShardPool):
         layer_cache: bool | None = None,
         capacity: int = DEFAULT_CAPACITY,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        cost_model: CostModelSpec | None = None,
         liveness: LivenessPolicy | None = None,
         clock=time.monotonic,
     ) -> None:
@@ -1246,6 +1262,7 @@ class ShardedServing(_ShardPool):
                 designs=designs,
                 budget=budget,
                 options=options,
+                cost_model=cost_model,
                 objective=objective,
                 workers=workers,
                 cache=cache,

@@ -41,7 +41,9 @@ from dataclasses import dataclass
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.profiler import WorkloadProfile
 from repro.core.config import DEFAULT_SUBPROBLEM_CAPACITY, SearchConfig
+from repro.core.costmodel import CostModelSpec
 from repro.core.evaluator import (
+    INFEASIBLE_SECONDS,
     EvaluatorOptions,
     LayerCacheStats,
     MappingEvaluation,
@@ -133,6 +135,12 @@ class SessionStats:
     store_errors: int = 0
     #: Corrupt store entries quarantined on read.
     store_quarantined: int = 0
+    #: Finished searches whose result was infeasible (memory spill, or
+    #: priced at the INFEASIBLE_SECONDS sentinel) and therefore *not*
+    #: published to the persistent store — a poisoned artifact would
+    #: otherwise warm-start every later deployment with a broken
+    #: mapping.
+    store_skipped_infeasible: int = 0
 
     @classmethod
     def zero(cls) -> "SessionStats":
@@ -176,6 +184,9 @@ class SessionStats:
             store_errors=self.store_errors + other.store_errors,
             store_quarantined=(
                 self.store_quarantined + other.store_quarantined
+            ),
+            store_skipped_infeasible=(
+                self.store_skipped_infeasible + other.store_skipped_infeasible
             ),
         )
 
@@ -249,6 +260,7 @@ class MarsSession:
         cache: bool | None = None,
         layer_cache: bool | None = None,
         subproblem_capacity: int = DEFAULT_SUBPROBLEM_CAPACITY,
+        cost_model: CostModelSpec | None = None,
         config: SearchConfig | None = None,
     ) -> None:
         if config is None:
@@ -256,6 +268,7 @@ class MarsSession:
                 designs=designs,
                 budget=budget,
                 options=options,
+                cost_model=cost_model,
                 objective=objective,
                 workers=workers,
                 cache=cache,
@@ -272,13 +285,19 @@ class MarsSession:
         self.options = self.config.options
         self.objective = self.config.objective
         #: The one evaluator every search, baseline pricing and program
-        #: emission of this session shares.
-        self.evaluator = MappingEvaluator(graph, topology, self.options)
+        #: emission of this session shares, priced by the cost model
+        #: the config declares (rebuilt here from its picklable spec —
+        #: the same path a shard worker takes on the far side of a
+        #: config shipment).
+        self.evaluator = MappingEvaluator(
+            graph, topology, self.options, cost_model=self.config.cost_model
+        )
         #: Cross-search level-1 sub-problem solutions (LRU-bounded).
         self.solution_cache = LruCache(self.config.subproblem_capacity)
         self._partitions: list[Partition] | None = None
         self._design_profile: WorkloadProfile | None = None
         self._searches = 0
+        self._store_skipped_infeasible = 0
         self._closed = False
         #: The session-lifetime level-2 process pool (None when serial).
         self._level2_pool: ProcessPoolBackend | None = (
@@ -412,15 +431,37 @@ class MarsSession:
             mapping=mapping, evaluation=evaluation, ga=ga_result
         )
         if self._store is not None:
-            graph_fp, topology_fp, config_fp = self._store_key
-            self._store.put(
-                self._encode_result(result),
-                graph_fp=graph_fp,
-                topology_fp=topology_fp,
-                config_fp=config_fp,
-                seed=seed,
-            )
+            if self._publishable(result):
+                graph_fp, topology_fp, config_fp = self._store_key
+                self._store.put(
+                    self._encode_result(result),
+                    graph_fp=graph_fp,
+                    topology_fp=topology_fp,
+                    config_fp=config_fp,
+                    seed=seed,
+                )
+            else:
+                self._store_skipped_infeasible += 1
         return result
+
+    @staticmethod
+    def _publishable(result: MarsResult) -> bool:
+        """Whether a finished search may enter the persistent store.
+
+        Infeasible results — a mapping that spilled past DRAM
+        (``memory_spill`` marks the evaluation invalid) or one priced
+        at the :data:`~repro.core.evaluator.INFEASIBLE_SECONDS`
+        sentinel because no sharding plan existed — are the best the
+        GA could do on a broken landscape, not artifacts worth
+        persisting: a stored sentinel would warm-start every future
+        deployment of this key with a known-broken mapping. They are
+        still *returned* (callers see the honest outcome, exactly as
+        before); they are just never published.
+        """
+        evaluation = result.evaluation
+        return evaluation.feasible and (
+            evaluation.latency_seconds < INFEASIBLE_SECONDS
+        )
 
     # ------------------------------------------------------------------
     # Store payload codec
@@ -512,6 +553,7 @@ class MarsSession:
             store_publishes=store_publishes,
             store_errors=store_errors,
             store_quarantined=store_quarantined,
+            store_skipped_infeasible=self._store_skipped_infeasible,
         )
 
     @property

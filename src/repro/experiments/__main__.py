@@ -7,6 +7,16 @@ Usage::
     python -m repro.experiments table4 --budget paper --seed 1
     python -m repro.experiments table3 --workers 4 --cache
     python -m repro.experiments table3 --seeds 4
+    python -m repro.experiments --validate --models tiny_cnn
+
+``--validate`` (or the ``validate`` experiment) runs the cost-model
+validation harness (:mod:`repro.core.validation`): it searches each
+requested model, replays the winning mapping through the event-driven
+network simulator, and prints a per-step-pattern divergence report
+between the analytical cost model and the simulator. ``--tolerance``
+gates the contention-free patterns (compute and host traffic must
+reconcile exactly up to float noise) and ``--out`` writes the full
+JSON report.
 
 ``--workers``/``--cache`` select the GA evaluation backend (process-pool
 fan-out and fitness memoization) and ``--no-layer-cache`` disables the
@@ -102,7 +112,32 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables.",
     )
     parser.add_argument(
-        "experiment", choices=["table2", "table3", "table4"]
+        "experiment",
+        nargs="?",
+        choices=["table2", "table3", "table4", "validate"],
+        default=None,
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the cost-model validation harness: replay searched "
+        "mappings through the event simulator and report per-pattern "
+        "analytical-vs-simulated divergence (same as the 'validate' "
+        "experiment)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-9,
+        help="validate: maximum relative divergence tolerated on "
+        "contention-free step patterns (compute/host traffic) before "
+        "exiting non-zero",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="validate: also write the full JSON divergence report here",
     )
     parser.add_argument(
         "--models",
@@ -183,6 +218,19 @@ def main(argv: list[str] | None = None) -> int:
         "(identical results, more recomputation)",
     )
     args = parser.parse_args(argv)
+    if args.validate:
+        if args.experiment not in (None, "validate"):
+            parser.error("--validate conflicts with a table experiment")
+        args.experiment = "validate"
+    if args.experiment is None:
+        parser.error(
+            "an experiment is required: table2, table3, table4, "
+            "validate (or --validate)"
+        )
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be > 0")
+    if args.out is not None and args.experiment != "validate":
+        parser.error("--out applies to validate only")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
     if args.seeds < 1:
@@ -220,6 +268,31 @@ def main(argv: list[str] | None = None) -> int:
     layer_cache = not args.no_layer_cache
 
     budget = _budget(args.budget, workers=args.workers, cache=args.cache)
+    if args.experiment == "validate":
+        import json
+
+        from repro.core.validation import divergence_report, format_report
+
+        models = (
+            tuple(args.models)
+            if args.models
+            else ("tiny_cnn", "alexnet", "squeezenet")
+        )
+        report = divergence_report(models, seeds=(args.seed,), budget=budget)
+        print(format_report(report))
+        if args.out is not None:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if report["contention_free_divergence"] > args.tolerance:
+            print(
+                "FAIL: contention-free divergence "
+                f"{report['contention_free_divergence']:.3e} exceeds "
+                f"tolerance {args.tolerance:.3e}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.experiment == "table2":
         from repro.core.ga import ProcessPoolBackend
 

@@ -1,0 +1,75 @@
+"""Sentinel poisoning: infeasible results never enter the store.
+
+A search on a broken landscape still returns *something* — the best
+infeasible mapping the GA found, priced at (or marked by) the
+``INFEASIBLE_SECONDS`` sentinel or invalidated by a DRAM spill. Those
+results must never be published to the persistent :class:`MappingStore`
+(a stored sentinel would warm-start every later deployment with a
+broken mapping, bypassing the GA forever) and the refusal must be
+visible in the session counters (``store_skipped_infeasible``).
+"""
+
+from repro.core import MarsSession
+from repro.core.config import SearchConfig
+from repro.core.evaluator import INFEASIBLE_SECONDS
+from repro.core.session import SessionStats
+from repro.core.store import StoreSpec
+from repro.dnn import build_model
+from repro.system import f1_16xlarge
+
+GRAPH = build_model("tiny_cnn")
+
+#: Accelerators with 4 KiB of DRAM: every mapping spills, every
+#: evaluation comes back infeasible — deterministically.
+STARVED = f1_16xlarge(dram_bytes=4096)
+
+
+def _config(tmp_path):
+    return SearchConfig.from_kwargs(
+        store=StoreSpec(path=str(tmp_path / "artifacts"))
+    )
+
+
+class TestSentinelPoisoningGuard:
+    def test_infeasible_result_not_published(self, tmp_path):
+        with MarsSession(GRAPH, STARVED, config=_config(tmp_path)) as session:
+            result = session.search(seed=0)
+            assert not result.feasible
+            stats = session.stats
+            assert stats.store_publishes == 0
+            assert stats.store_skipped_infeasible == 1
+            assert stats.store_misses == 1  # consulted, found nothing
+
+    def test_later_deployment_not_warm_started_by_sentinel(self, tmp_path):
+        config = _config(tmp_path)
+        with MarsSession(GRAPH, STARVED, config=config) as session:
+            session.search(seed=0)
+        with MarsSession(GRAPH, STARVED, config=config) as session:
+            session.search(seed=0)
+            stats = session.stats
+            # Nothing was persisted, so the second deployment misses
+            # again and re-searches instead of replaying a sentinel.
+            assert stats.store_hits == 0
+            assert stats.store_misses == 1
+            assert stats.store_skipped_infeasible == 1
+
+    def test_feasible_result_still_publishes(self, tmp_path):
+        with MarsSession(
+            GRAPH, f1_16xlarge(), config=_config(tmp_path)
+        ) as session:
+            result = session.search(seed=0)
+            assert result.feasible
+            assert result.evaluation.latency_seconds < INFEASIBLE_SECONDS
+            stats = session.stats
+            assert stats.store_publishes == 1
+            assert stats.store_skipped_infeasible == 0
+
+    def test_counter_merges_across_stats(self):
+        from dataclasses import replace
+
+        zero = SessionStats.zero()
+        assert zero.store_skipped_infeasible == 0
+        merged = replace(zero, store_skipped_infeasible=2).merge(
+            replace(zero, store_skipped_infeasible=3)
+        )
+        assert merged.store_skipped_infeasible == 5

@@ -1,0 +1,243 @@
+"""The cost-model validation harness: patterns, pricing, reports, CLI.
+
+``repro.core.validation`` replays searched mappings through the event
+simulator and compares each program step against its cost-model price.
+These tests pin the harness mechanics: label -> pattern classification,
+per-step pricing consistency with the program's own analytical backend,
+exact reconciliation on contention-free steps, infeasible-mapping
+exclusion (the divergence-side twin of the store's sentinel guard), and
+the ``python -m repro.experiments --validate`` entry point.
+"""
+
+import json
+
+import pytest
+
+from repro.core.costmodel import AnalyticalCostModel, CostModelSpec
+from repro.core.ga import GAConfig, SearchBudget
+from repro.core.validation import (
+    CONTENTION_FREE_PATTERNS,
+    compare_program,
+    divergence_report,
+    format_report,
+    price_step,
+    step_pattern,
+    validate_model,
+)
+from repro.experiments.__main__ import main as experiments_main
+from repro.simulator.analytical import AnalyticalCommModel
+from repro.simulator.program import (
+    CollectiveStep,
+    ComputeStep,
+    ExecutionProgram,
+    HostStep,
+    TransferStep,
+)
+from repro.system import f1_16xlarge
+
+TOPOLOGY = f1_16xlarge()
+
+#: Smallest legal GA budget — determinism and reconciliation don't need
+#: good mappings, just real ones.
+MINI_BUDGET = SearchBudget(
+    level1=GAConfig(
+        population_size=2, generations=1, elite_count=1, patience=1,
+        tournament_size=2,
+    ),
+    level2=GAConfig(
+        population_size=2, generations=1, elite_count=1, patience=1,
+        tournament_size=2,
+    ),
+)
+
+
+class TestStepPattern:
+    @pytest.mark.parametrize(
+        "step,expected",
+        [
+            (ComputeStep((0,), 1e-6, label="conv1:compute"), "compute"),
+            (ComputeStep((0,), 1e-6, label="pool1"), "compute"),
+            (
+                CollectiveStep("allreduce", (0, 1), 1e3, label="c1:allreduce"),
+                "allreduce",
+            ),
+            (
+                CollectiveStep(
+                    "ring_step", (0, 1), 1e3, label="c1:ss-rotation"
+                ),
+                "ss-rotation",
+            ),
+            (CollectiveStep("ring_step", (0, 1), 1e3, label="c1:halo"), "halo"),
+            (
+                TransferStep((0,), (1,), 1e3, label="c1:reshard"),
+                "reshard",
+            ),
+            (
+                TransferStep((0,), (4,), 1e3, label="set0->set1:boundary"),
+                "boundary",
+            ),
+            (HostStep(0, 1e3, label="c1:host-input"), "host-input"),
+            (HostStep(0, 1e3, label="weight-stream"), "weight-stream"),
+            (
+                HostStep(0, 1e3, kind="round_trip", label="dram-spill"),
+                "dram-spill",
+            ),
+        ],
+    )
+    def test_labels_classify(self, step, expected):
+        assert step_pattern(step) == expected
+
+
+class TestPriceStep:
+    """The harness prices steps exactly like the program's own
+    analytical backend (same closed forms, same floats)."""
+
+    STEPS = [
+        ComputeStep((0, 1), 3.25e-6, label="l:compute"),
+        CollectiveStep("allreduce", (0, 1, 2, 3), 4096.0, label="l:allreduce"),
+        CollectiveStep("allgather", (0, 1, 2), 4096.0),
+        CollectiveStep("reduce_scatter", (0, 1, 2), 4096.0),
+        CollectiveStep("ring_step", (0, 1, 2, 3), 512.0, label="l:halo"),
+        TransferStep((0, 1), (2, 3), 8192.0, label="l:reshard"),
+        TransferStep((0, 1), (4, 5), 8192.0, 4096.0, label="b:boundary"),
+        HostStep(0, 65536.0, label="l:host-input"),
+        HostStep(1, 65536.0, kind="round_trip", label="dram-spill"),
+    ]
+
+    @pytest.mark.parametrize("step", STEPS, ids=lambda s: type(s).__name__ + ":" + (s.label or getattr(s, "kind", "")))
+    def test_matches_program_pricing(self, step):
+        model = AnalyticalCostModel(TOPOLOGY)
+        program = ExecutionProgram(TOPOLOGY)
+        comm = AnalyticalCommModel(TOPOLOGY)
+        assert price_step(model, step) == program._price_step(step, comm)
+
+
+class TestCompareProgram:
+    def test_compute_only_program_reconciles_exactly(self):
+        program = ExecutionProgram(TOPOLOGY)
+        # Power-of-two durations accumulate exactly, so the end-time
+        # differences replay the step seconds bit-for-bit.
+        for index in range(5):
+            program.append(
+                ComputeStep((0,), 2.0 ** -(index + 1), label=f"l{index}:compute")
+            )
+        result = compare_program(program)
+        assert set(result.patterns) == {"compute"}
+        assert result.patterns["compute"].steps == 5
+        assert result.contention_free_divergence() == 0.0
+        assert result.worst_steps == []
+
+    def test_searched_program_contention_free_steps_reconcile(self):
+        from repro.core import Mars
+        from repro.dnn import build_model
+
+        with Mars(
+            build_model("tiny_cnn"), TOPOLOGY, budget=MINI_BUDGET
+        ) as mars:
+            program = mars.compile_program(mars.search(seed=0))
+        result = compare_program(program)
+        assert result.contention_free_divergence() < 1e-9
+        assert "compute" in result.patterns
+        total = sum(p.steps for p in result.patterns.values())
+        assert total == len(program)
+
+    def test_worst_steps_sorted_by_gap(self):
+        from repro.core import Mars
+        from repro.dnn import build_model
+
+        with Mars(
+            build_model("alexnet"), TOPOLOGY, budget=MINI_BUDGET
+        ) as mars:
+            program = mars.compile_program(mars.search(seed=0))
+        result = compare_program(program, worst=3)
+        gaps = [
+            abs(w["simulated_seconds"] - w["analytical_seconds"])
+            for w in result.worst_steps
+        ]
+        assert gaps == sorted(gaps, reverse=True)
+        assert len(result.worst_steps) <= 3
+
+
+class TestValidateModel:
+    def test_feasible_record_shape(self):
+        record = validate_model("tiny_cnn", seed=0, budget=MINI_BUDGET)
+        assert record["model"] == "tiny_cnn"
+        assert record["feasible"] and not record["skipped"]
+        assert record["steps"] > 0
+        assert record["patterns"]
+        assert record["contention_free_divergence"] < 1e-9
+
+    def test_infeasible_mapping_skipped(self):
+        starved = f1_16xlarge(dram_bytes=4096)
+        record = validate_model(
+            "tiny_cnn", topology=starved, seed=0, budget=MINI_BUDGET
+        )
+        assert record["skipped"] and not record["feasible"]
+        assert "patterns" not in record
+
+    def test_report_excludes_infeasible_from_stats(self):
+        starved = f1_16xlarge(dram_bytes=4096)
+        report = divergence_report(
+            ["tiny_cnn"], topology=starved, budget=MINI_BUDGET
+        )
+        assert report["skipped_infeasible"] == 1
+        assert report["patterns"] == {}
+        assert report["analytical_seconds"] == 0.0
+        assert report["simulated_seconds"] == 0.0
+
+
+class TestDivergenceReport:
+    def test_aggregates_across_models(self):
+        report = divergence_report(
+            ["tiny_cnn", "tiny_resnet"], budget=MINI_BUDGET
+        )
+        assert len(report["models"]) == 2
+        assert report["skipped_infeasible"] == 0
+        for pattern, stats in report["patterns"].items():
+            per_model = sum(
+                r["patterns"][pattern]["steps"]
+                for r in report["models"]
+                if pattern in r["patterns"]
+            )
+            assert stats["steps"] == per_model
+        assert report["contention_free_divergence"] < 1e-9
+        assert report["cost_model"]["kind"] == "analytical"
+        assert report["cost_model"]["token"] == CostModelSpec().token()
+        assert "cost-model validation" in format_report(report)
+
+    def test_contention_free_patterns_are_the_serial_ones(self):
+        assert "compute" in CONTENTION_FREE_PATTERNS
+        assert "allreduce" not in CONTENTION_FREE_PATTERNS
+        assert "reshard" not in CONTENTION_FREE_PATTERNS
+
+
+class TestExperimentsValidateCli:
+    def test_validate_flag_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = experiments_main(
+            ["--validate", "--models", "tiny_cnn", "--out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "cost-model validation" in printed
+        report = json.loads(out.read_text())
+        assert report["patterns"]
+        assert report["contention_free_divergence"] < 1e-9
+
+    def test_validate_positional_spelling(self, capsys):
+        assert experiments_main(["validate", "--models", "tiny_cnn"]) == 0
+        assert "per pattern" in capsys.readouterr().out
+
+    def test_validate_conflicts_with_table(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table3", "--validate"])
+
+    def test_out_requires_validate(self, tmp_path):
+        with pytest.raises(SystemExit):
+            experiments_main(
+                ["table2", "--out", str(tmp_path / "x.json")]
+            )
+
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            experiments_main([])

@@ -1,0 +1,103 @@
+"""Event-simulator replay determinism across the whole model zoo.
+
+The divergence report (``BENCH_costmodel.json``) and the contention
+derates fitted from it are only trustworthy if a replay is a pure
+function of the program: same mapping, same step end-times, bit for
+bit — within a process, across repeated runs, and across process
+boundaries. These tests pin that, plus the step-level reconciliation
+the harness relies on (a compute step's simulated duration is exactly
+its priced seconds; the replay total is exactly the last end time).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import Mars
+from repro.core.ga import GAConfig, SearchBudget
+from repro.dnn import build_model
+from repro.dnn.models import MODEL_ZOO
+from repro.simulator.program import ComputeStep
+from repro.system import f1_16xlarge
+from repro.utils.rng import stable_digest
+
+#: Smallest legal GA budget: determinism holds for any mapping, so the
+#: zoo sweep stays cheap.
+MINI_BUDGET = SearchBudget(
+    level1=GAConfig(
+        population_size=2, generations=1, elite_count=1, patience=1,
+        tournament_size=2,
+    ),
+    level2=GAConfig(
+        population_size=2, generations=1, elite_count=1, patience=1,
+        tournament_size=2,
+    ),
+)
+
+_PROGRAMS: dict = {}
+
+
+def _program(name):
+    if name not in _PROGRAMS:
+        with Mars(build_model(name), f1_16xlarge(), budget=MINI_BUDGET) as mars:
+            _PROGRAMS[name] = mars.compile_program(mars.search(seed=0))
+    return _PROGRAMS[name]
+
+
+def replay_digest(name: str) -> str:
+    """Stable content hash of a replay's full timing trace."""
+    replay = _program(name).replay()
+    return stable_digest(
+        "replay-digest",
+        float(replay.total_seconds).hex(),
+        tuple(float(end).hex() for end in replay.step_end_times),
+    )
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_repeated_replays_bit_identical(self, name):
+        program = _program(name)
+        first = program.replay()
+        second = program.replay()
+        assert first.total_seconds == second.total_seconds
+        assert first.step_end_times == second.step_end_times
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_totals_reconcile_with_step_seconds(self, name):
+        program = _program(name)
+        replay = program.replay()
+        assert len(replay.step_end_times) == len(program)
+        assert replay.total_seconds == replay.step_end_times[-1]
+        previous = 0.0
+        for step, end in zip(program.steps, replay.step_end_times):
+            assert end >= previous
+            if isinstance(step, ComputeStep):
+                # Compute replays as now + seconds — exactly.
+                assert end == previous + step.seconds
+            previous = end
+
+    def test_replay_bit_identical_across_processes(self):
+        """A subprocess searching and replaying the same workload lands
+        on the same timing trace, hex for hex."""
+        name = "tiny_cnn"
+        script = (
+            "from tests.simulator.test_replay_determinism import replay_digest\n"
+            f"print(replay_digest({name!r}))\n"
+        )
+        root = Path(__file__).resolve().parents[2]
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=root,
+            env={
+                "PYTHONPATH": f"{root / 'src'}{os.pathsep}{root}",
+                "PATH": os.environ.get("PATH", ""),
+            },
+            check=True,
+        )
+        assert result.stdout.strip() == replay_digest(name)
