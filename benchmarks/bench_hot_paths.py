@@ -9,7 +9,10 @@ repeated searches through one ``MarsSession``, asserted, bit-identical
 to fresh searches), the pool-reuse bench as the executor-lifecycle
 contract (a ``workers=2`` warm sweep spawns exactly one
 ``ProcessPoolExecutor``, asserted), the batch-decode bench as the
-vectorized decode contract (bit-identical, measurably faster) and the
+vectorized decode contract (bit-identical, measurably faster), the
+level-1 fan-out bench as the parallel-search contract (a ``workers=2``
+cold search solves its sub-problems on pool workers, bit-identical to
+serial, >= 1.5x on multi-core hosts) and the
 sharded-serving bench as the multi-process serving contract (a
 multi-tenant sweep through a 2-shard ``ShardedServing`` frontend is
 bit-identical to the serial registry, and outpaces it on multi-core
@@ -44,6 +47,7 @@ from repro.utils import make_rng
 # ``bench_shards`` is aliased: the harness collects any ``bench_*``
 # callable in this namespace as a benchmark.
 from _report import bench_shards as _shard_count
+from _report import bench_workers as _worker_count
 from _report import (
     emit,
     emit_json,
@@ -384,7 +388,14 @@ def bench_session_pool_reuse_workers(benchmark):
 
     graph = build_model("tiny_cnn")
     topology = f1_16xlarge()
-    budget = SearchBudget.fast().with_backend(workers=2)
+    # Level-2-only parallelism: the subject here is the *level-2*
+    # pool's executor lifecycle, so the level-1 fan-out stays off —
+    # with it on, the fan-out pre-solves every sub-problem and the
+    # level-2 pool (whose executor spawns lazily on first use) would
+    # never spawn at all. The fan-out has its own bench
+    # (bench_level1_fanout).
+    budget = SearchBudget.fast()
+    budget.level2 = replace(budget.level2, workers=2)
     seeds = (0, 1, 2, 3)
 
     def sweep(hoisted):
@@ -544,6 +555,83 @@ def bench_batch_decode_population(benchmark):
     assert speedup >= min_speedup, (
         f"batch decode speedup {speedup:.2f}x < {min_speedup:.2f}x"
     )
+
+
+def bench_level1_fanout(benchmark):
+    """Batched level-1 sub-problem fan-out vs the serial search.
+
+    The last serial core of the stack: before the fan-out, a
+    ``workers = N`` search still solved every level-1 sub-problem (a
+    whole level-2 GA each) one at a time in the parent. Now each
+    generation's distinct uncached sub-problems are deduplicated and
+    solved in parallel on the session's fan-out pool, and genome
+    scoring walks a warm cache. Both arms are cold sessions of the same
+    workload and seed, so they differ only in where sub-problems are
+    solved; results are bit-identical (asserted — the content-keyed
+    sub-problem RNGs make solutions worker-independent) and the fan-out
+    counter proves the pool actually engaged. Speedup is gated on
+    multi-core hosts via ``REPRO_LEVEL1_FANOUT_MIN_SPEEDUP``
+    (default 1.5x); single-core runs only report.
+    """
+    graph = build_model("squeezenet")
+    topology = f1_16xlarge()
+    workers = max(2, _worker_count())
+
+    def run(n):
+        with MarsSession(graph, topology, workers=n) as session:
+            result = session.search(seed=0)
+            stats = session.stats
+        return result, stats
+
+    run(workers)  # warm process-wide memos (and fork machinery) once
+    serial_s, (serial_result, serial_stats) = _best_of(
+        lambda: run(1), rounds=3
+    )
+    fanout_s, (fanout_result, fanout_stats) = _best_of(
+        lambda: run(workers), rounds=3
+    )
+    benchmark.pedantic(lambda: run(workers), rounds=1, iterations=1)
+
+    assert fanout_result.latency_ms == serial_result.latency_ms
+    assert fanout_result.describe() == serial_result.describe()
+    assert fanout_result.ga.history == serial_result.ga.history
+    assert serial_stats.subproblems_fanned_out == 0
+    assert fanout_stats.subproblems_fanned_out > 0
+
+    cpus = run_metadata()["cpus"]
+    speedup = serial_s / fanout_s
+    benchmark.extra_info["serial_ms"] = round(serial_s * 1e3, 1)
+    benchmark.extra_info["fanout_ms"] = round(fanout_s * 1e3, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["fanned_out"] = fanout_stats.subproblems_fanned_out
+    emit(
+        "hot_path_level1_fanout",
+        f"Level-1 sub-problem fan-out: squeezenet cold search, "
+        f"workers={workers} (identical results, asserted)\n"
+        f"serial level 1        : {serial_s * 1e3:9.1f} ms\n"
+        f"batched fan-out       : {fanout_s * 1e3:9.1f} ms "
+        f"({fanout_stats.subproblems_fanned_out} sub-problems on workers)\n"
+        f"speedup               : {speedup:9.2f}x ({cpus} cpus)\n",
+    )
+    payload = {
+        "workload": "squeezenet",
+        "seed": 0,
+        "workers": workers,
+        "serial_seconds": serial_s,
+        "fanout_seconds": fanout_s,
+        "subproblems_fanned_out": fanout_stats.subproblems_fanned_out,
+        "speedup": speedup,
+    }
+    emit_json("level1_fanout", payload)
+    emit_trajectory("level1_fanout", payload)
+    min_speedup = float(
+        os.environ.get("REPRO_LEVEL1_FANOUT_MIN_SPEEDUP", "1.5")
+    )
+    if cpus >= 2:
+        assert speedup >= min_speedup, (
+            f"level-1 fan-out speedup {speedup:.2f}x < {min_speedup:.2f}x "
+            f"on {cpus} cpus"
+        )
 
 
 def bench_sharded_tenant_sweep(benchmark):

@@ -83,8 +83,13 @@ class SearchConfig:
             sessions, tenant keys and persistent store artifacts
             priced by different models never alias.
         objective: ``"latency"`` (paper) or ``"throughput"``.
-        workers: Override both levels' evaluation parallelism
-            (``None`` keeps the budget's values).
+        workers: Override both levels' parallelism (``None`` keeps
+            the budget's values): level 2 fans *population batches*
+            out over a process pool, level 1 fans its distinct
+            uncached *sub-problems* out per generation (the batched
+            fan-out — ``budget.level1.workers`` used to be accepted
+            and silently ignored). Results never change — only
+            wall-clock.
         cache: Override both levels' fitness memoization.
         layer_cache: Override :attr:`EvaluatorOptions.layer_cache`.
         capacity: Maximum live tenant sessions per serving registry.

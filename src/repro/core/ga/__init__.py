@@ -17,7 +17,12 @@ from repro.core.ga.heuristics import (
     design_gene_seed,
     edge_removal_partitions,
 )
-from repro.core.ga.level1 import Level1Search, SearchBudget
+from repro.core.ga.level1 import (
+    Level1Search,
+    SearchBudget,
+    SubproblemSolver,
+    subproblem_rng,
+)
 from repro.core.ga.level2 import (
     GENES_PER_LAYER,
     Level2Fitness,
@@ -42,6 +47,8 @@ __all__ = [
     "SearchBudget",
     "SerialBackend",
     "SetSolution",
+    "SubproblemSolver",
+    "subproblem_rng",
     "backend_from_spec",
     "candidate_partitions",
     "decode_layer_strategy",

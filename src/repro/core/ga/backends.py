@@ -120,6 +120,21 @@ class EvaluationBackend(ABC):
         """
         return [fn(item) for item in items]
 
+    def map_subproblems(
+        self, solver: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        """Solve heavyweight independent sub-problems, in input order.
+
+        Like :meth:`map`, but tuned for *few, coarse* work items — the
+        level-1 fan-out hands a generation's distinct uncached
+        sub-problems here, each a whole level-2 GA. The process-pool
+        backend dispatches one item per task (instead of splitting the
+        batch into per-worker chunks) so a straggler sub-problem never
+        holds a chunk's worth of finished work hostage, and it engages
+        the pool from two items up. In-process backends just loop.
+        """
+        return self.map(solver, items)
+
     @property
     @abstractmethod
     def stats(self) -> BackendStats:
@@ -229,6 +244,11 @@ class CachedBackend(EvaluationBackend):
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         return self.inner.map(fn, items)
+
+    def map_subproblems(
+        self, solver: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        return self.inner.map_subproblems(solver, items)
 
     def __getstate__(self) -> None:
         # A fitness closing over its cache must not ship stale clones to
@@ -383,15 +403,24 @@ class ProcessPoolBackend(EvaluationBackend):
             self._executor = None
 
     def _map(
-        self, target: Callable[[Any], Any], items: Sequence[Any]
+        self,
+        target: Callable[[Any], Any],
+        items: Sequence[Any],
+        min_items: int | None = None,
+        chunksize: int | None = None,
     ) -> list[Any]:
-        # Tiny batches are not worth the dispatch overhead.
-        if self.workers == 1 or len(items) < max(2, self.workers):
+        # Tiny batches are not worth the dispatch overhead. ``min_items``
+        # lowers the bar for coarse work (one sub-problem per task can
+        # pay off with fewer items than workers); the default keeps the
+        # historical population-batch threshold.
+        if min_items is None:
+            min_items = max(2, self.workers)
+        if self.workers == 1 or len(items) < min_items:
             return [target(item) for item in items]
         payload = self._payload_for(target)
         if payload is None or not self._ensure_pool():
             return [target(item) for item in items]
-        chunksize = self.chunksize or max(
+        chunksize = chunksize or self.chunksize or max(
             1, -(-len(items) // (self.workers * 2))
         )
         chunks = [
@@ -465,6 +494,16 @@ class ProcessPoolBackend(EvaluationBackend):
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         return self._map(fn, items)
+
+    def map_subproblems(
+        self, solver: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        """One task per sub-problem: coarse items load-balance across
+        workers instead of riding per-worker chunks, and the pool
+        engages from two items up. Failure policy is :meth:`map`'s —
+        a broken batch re-runs serially (bit-identically) and retires
+        the executor, not the backend."""
+        return self._map(solver, items, min_items=2, chunksize=1)
 
     @property
     def using_pool(self) -> bool:

@@ -101,7 +101,13 @@ class GAResult:
     uncached backends). ``layer_cache`` carries the evaluator's
     per-layer cost-cache counters for the run, attached by the level
     drivers (``None`` when the fitness has no evaluator or the layer
-    cache is disabled).
+    cache is disabled). ``worker_layer_cache`` carries the *pool
+    workers'* private layer-cache counters, shipped back with each
+    fanned-out sub-problem result and merged by the level-1 driver
+    (``None`` when nothing fanned out); the in-process ``layer_cache``
+    delta and this field partition the run's pricing activity, so
+    their :meth:`~repro.core.evaluator.LayerCacheStats.merge` is the
+    whole-run figure.
     """
 
     best_genome: np.ndarray
@@ -112,6 +118,7 @@ class GAResult:
     cache_hits: int = 0
     cache_misses: int = 0
     layer_cache: "LayerCacheStats | None" = None
+    worker_layer_cache: "LayerCacheStats | None" = None
 
 
 class GeneticAlgorithm:

@@ -32,7 +32,11 @@ import numpy as np
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.profiler import WorkloadProfile, profile_designs
-from repro.core.evaluator import MappingEvaluator, MappingEvaluation
+from repro.core.evaluator import (
+    LayerCacheStats,
+    MappingEvaluator,
+    MappingEvaluation,
+)
 from repro.core.formulation import (
     AcceleratorSet,
     LayerRange,
@@ -129,6 +133,100 @@ class DecodedIndividual:
     ranges: list[LayerRange]
 
 
+def subproblem_rng(key: tuple) -> np.random.Generator:
+    """Private RNG of one level-2 sub-problem, derived from its key.
+
+    Content-keyed (not drawn from a shared stream): the trajectory of a
+    sub-problem's GA never depends on which other sub-problems ran
+    first, which search posed it, the level-1 seed — or, since the
+    batched fan-out, which *worker process* solves it. This is the
+    property that makes ``solution_cache`` entries reusable across
+    searches, seeds, sessions and pool workers with bit-identical
+    results.
+    """
+    return make_rng(stable_seed("level2-subproblem", *key))
+
+
+class SubproblemSolver:
+    """Picklable level-1 sub-problem job: one level-2 GA per item.
+
+    The batched fan-out ships one solver per generation batch (workers
+    memoize the unpickled object by payload bytes, so the evaluator —
+    whose ``__getstate__`` drops its caches precisely to keep those
+    bytes stable — is rebuilt once per worker incarnation and its
+    private layer cache warms across generations). Each item is one
+    ``(key, design)`` pair; the nodes come from the shipped graph and
+    the RNG from the content-keyed ``key``, so a solution is identical
+    no matter which worker (or the parent, on the serial fallback
+    path) produces it.
+
+    Results carry the worker-side layer-cache delta of the solve so
+    the parent can merge pool counters into its stats; on the
+    in-process fallback path the delta is ``None`` — the parent
+    evaluator's own counters already saw that work, and shipping a
+    delta too would double-count it.
+    """
+
+    def __init__(self, evaluator: MappingEvaluator, config: GAConfig) -> None:
+        self.evaluator = evaluator
+        # Worker-side level-2 GAs run strictly serial: the fan-out owns
+        # the pool's parallelism, and a nested executor per worker
+        # would fork-bomb the host without changing any result.
+        self.config = replace(config, workers=1)
+        self._remote = False
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_remote"] = True  # any unpickled copy lives in a worker
+        return state
+
+    def __call__(
+        self, item: tuple[tuple, AcceleratorDesign | None]
+    ) -> tuple[tuple, SetSolution, LayerCacheStats | None]:
+        key, design = item
+        start, stop = key[0], key[1]
+        accs = key[2]
+        nodes = self.evaluator.graph.nodes()[start:stop]
+        before = self.evaluator.layer_cache_stats
+        solution = optimize_set(
+            self.evaluator,
+            nodes,
+            accs,
+            design,
+            self.config,
+            subproblem_rng(key),
+        )
+        if not self._remote:
+            return key, solution, None
+        return key, solution, self.evaluator.layer_cache_stats.since(before)
+
+
+class _Level1Fitness:
+    """The level-1 fitness object handed to the GA engine.
+
+    A thin adapter over :class:`Level1Search` whose job is to expose
+    the ``prepare_population`` batch hook (bound methods cannot carry
+    one): each generation, the engine shows the whole population to the
+    evaluation backend, which forwards it here, and the search fans the
+    batch's distinct uncached sub-problems out before any per-genome
+    fitness call runs. Scoring then walks a fully warm sub-problem
+    cache in-process.
+    """
+
+    __slots__ = ("search",)
+
+    def __init__(self, search: "Level1Search") -> None:
+        self.search = search
+
+    def __call__(self, genome: np.ndarray) -> float:
+        return self.search.fitness(genome)
+
+    def prepare_population(
+        self, genomes: list[np.ndarray] | tuple[np.ndarray, ...]
+    ) -> None:
+        self.search.prefetch_population(genomes)
+
+
 @dataclass
 class Level1Search:
     """Drives the two-level search for one workload on one system.
@@ -150,10 +248,27 @@ class Level1Search:
     sub-GAs instead of this search spawning (and tearing down) its own;
     ``run()`` only closes a pool it built itself.
 
+    ``level1_backend`` is the **batched sub-problem fan-out** pool:
+    when present (an owner hands one down, or ``budget.level1.workers
+    > 1`` builds one here), every generation's population is decoded up
+    front, the distinct *uncached* ``(layer_range, acc_set, design)``
+    sub-problems across all individuals are deduplicated, and that
+    batch is solved in parallel — one level-2 GA per pool task. Each
+    sub-problem carries its own content-keyed RNG
+    (:func:`subproblem_rng`), so solutions are position- and
+    worker-independent and merge back into the shared
+    ``solution_cache`` without forking state; genome scoring then runs
+    over a fully warm cache in-process, keeping the phenotype memo and
+    layer-LRU semantics intact. Results are bit-identical to the serial
+    path for a fixed seed — the fan-out, like every backend, only
+    changes wall-clock.
+
     ``progress`` is a pure observation callback ``(phase, count)``
-    invoked after each level-1 generation and each level-2 sub-problem
-    solved on a cache miss. It must not consume search RNG; the serving
-    liveness layer plugs heartbeat beacons into it
+    invoked after each level-1 generation and once per *distinct*
+    level-2 sub-problem solved (exact under the batch fan-out too: a
+    prefetch and a fitness call landing on the same key tick once).
+    It must not consume search RNG; the serving liveness layer plugs
+    heartbeat beacons into it
     (:class:`~repro.core.health.BeaconEmitter`), which is why it exists
     as a field rather than ad-hoc instrumentation.
     """
@@ -172,6 +287,7 @@ class Level1Search:
     )
     backend: EvaluationBackend | None = None
     level2_backend: EvaluationBackend | None = None
+    level1_backend: EvaluationBackend | None = None
     partitions: list[Partition] | None = None
     design_profile: WorkloadProfile | None = None
     progress: Callable[[str, int], None] | None = None
@@ -189,11 +305,13 @@ class Level1Search:
         if self.backend is None:
             # Level 1 has always memoized fitness at the phenotype level
             # (the genome→mapping decode is massively many-to-one). The
-            # base stays serial regardless of ``workers``: level-1
+            # base stays serial even under ``workers > 1``: level-1
             # fitness is stateful — it fills the sub-problem solution
-            # cache — so shipping it to pool workers would fork that
-            # state. Parallelism goes to the level-2 GAs instead, whose
-            # fitness is stateless.
+            # cache — so shipping *fitness* to pool workers would fork
+            # that state. Parallelism comes from the batched sub-problem
+            # fan-out instead (``level1_backend`` below): sub-problem
+            # solves are stateless given their content-keyed RNGs, so
+            # they fan out and merge back without forking anything.
             self.backend = CachedBackend(
                 SerialBackend(), key_fn=self.phenotype_key
             )
@@ -209,6 +327,17 @@ class Level1Search:
                 self.budget.level2.workers
             )
         self._level2_pool = self.level2_backend
+        # The level-1 fan-out pool: handed down by a session, or built
+        # here when ``budget.level1.workers`` asks for parallelism (the
+        # knob used to be silently ignored at this level).
+        self._owns_level1_pool = (
+            self.level1_backend is None and self.budget.level1.workers > 1
+        )
+        if self._owns_level1_pool:
+            self.level1_backend = ProcessPoolBackend(
+                self.budget.level1.workers
+            )
+        self._level1_pool = self.level1_backend
         if self.partitions is None:
             self.partitions = candidate_partitions(self.topology, self.backend)
         self.max_sets = max(len(p) for p in self.partitions)
@@ -218,6 +347,20 @@ class Level1Search:
             if node.is_compute
         ]
         self._subproblems_solved = 0
+        # Keys already ticked through ``_subproblems_solved`` /
+        # ``progress``: exactly one tick per *distinct* sub-problem this
+        # search solved, no matter whether the prefetch or a fitness
+        # call got there first — or whether an LRU eviction forced a
+        # re-solve of a key already counted.
+        self._solved_keys: set[tuple] = set()
+        #: Pool workers' private layer-cache counters, shipped back with
+        #: fanned-out sub-problem results and merged here (hits/misses/
+        #: evictions sum; ``entries`` is the largest single-worker cache
+        #: population observed — worker gauges are not additive).
+        self.worker_layer_cache = LayerCacheStats()
+        #: Distinct sub-problems this search solved *on pool workers*
+        #: (serial-fallback and in-fitness solves are not counted here).
+        self.subproblems_fanned_out = 0
 
     # ------------------------------------------------------------------
     # Genome layout
@@ -311,18 +454,41 @@ class Level1Search:
     # Fitness
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _subproblem_key(
+        layer_range: LayerRange,
+        accs: tuple[int, ...],
+        design: AcceleratorDesign | None,
+    ) -> tuple:
+        return (
+            layer_range.start,
+            layer_range.stop,
+            accs,
+            design.name if design else "<fixed>",
+        )
+
+    def _record_solved(self, key: tuple) -> None:
+        """Tick the solved-sub-problem beacon, once per distinct key.
+
+        Both the batch prefetch and an in-fitness solve route here, and
+        the key set makes the count exact: a prefetch and a fitness
+        call landing on the same key (an LRU eviction between them, or
+        a serial-fallback overlap) produce one tick, not two.
+        """
+        if key in self._solved_keys:
+            return
+        self._solved_keys.add(key)
+        self._subproblems_solved += 1
+        if self.progress is not None:
+            self.progress("level2-subproblem", self._subproblems_solved)
+
     def solve_subproblem(
         self,
         layer_range: LayerRange,
         accs: tuple[int, ...],
         design: AcceleratorDesign | None,
     ) -> SetSolution:
-        key = (
-            layer_range.start,
-            layer_range.stop,
-            accs,
-            design.name if design else "<fixed>",
-        )
+        key = self._subproblem_key(layer_range, accs, design)
         cached = self.solution_cache.get(key)
         if cached is not None:
             return cached
@@ -333,26 +499,62 @@ class Level1Search:
             accs,
             design,
             self.budget.level2,
-            self._subproblem_rng(key),
+            subproblem_rng(key),
             backend=self._level2_pool,
         )
         self.solution_cache[key] = solution
-        self._subproblems_solved += 1
-        if self.progress is not None:
-            self.progress("level2-subproblem", self._subproblems_solved)
+        self._record_solved(key)
         return solution
+
+    def prefetch_population(
+        self, genomes: list[np.ndarray] | tuple[np.ndarray, ...]
+    ) -> None:
+        """Batched sub-problem fan-out for one generation's population.
+
+        Decodes the whole batch, dedupes the distinct uncached
+        ``(layer_range, acc_set, design)`` sub-problems across all
+        individuals, and solves that batch in parallel on the fan-out
+        pool; solutions merge into the shared ``solution_cache``, so
+        the per-genome fitness calls that follow walk a fully warm
+        cache. Purely a wall-clock lever: each sub-problem's solution
+        comes from its content-keyed RNG, so results never depend on
+        this running (the serial path would solve the same sub-problems
+        one by one). No-op without a fan-out pool.
+        """
+        pool = self._level1_pool
+        if pool is None or not genomes:
+            return
+        jobs: dict[tuple, tuple[LayerRange, AcceleratorDesign | None]] = {}
+        for genome in genomes:
+            decoded = self.decode(np.asarray(genome))
+            for acc_set, design, layer_range in zip(
+                decoded.used_sets, decoded.designs, decoded.ranges
+            ):
+                key = self._subproblem_key(layer_range, acc_set, design)
+                if key in jobs or key in self.solution_cache:
+                    continue
+                jobs[key] = (layer_range, design)
+        if not jobs:
+            return
+        solver = SubproblemSolver(self.evaluator, self.budget.level2)
+        items = [(key, design) for key, (_, design) in jobs.items()]
+        for key, solution, stats in pool.map_subproblems(solver, items):
+            self.solution_cache[key] = solution
+            self._record_solved(key)
+            if stats is not None:
+                self.subproblems_fanned_out += 1
+                merged = self.worker_layer_cache
+                self.worker_layer_cache = LayerCacheStats(
+                    hits=merged.hits + stats.hits,
+                    misses=merged.misses + stats.misses,
+                    entries=max(merged.entries, stats.entries),
+                    evictions=merged.evictions + stats.evictions,
+                )
 
     @staticmethod
     def _subproblem_rng(key: tuple) -> np.random.Generator:
-        """Private RNG of one level-2 sub-problem, derived from its key.
-
-        Content-keyed (not drawn from a shared stream): the trajectory
-        of a sub-problem's GA never depends on which other sub-problems
-        ran first, which search posed it, or the level-1 seed. This is
-        the property that makes ``solution_cache`` entries reusable
-        across searches, seeds and sessions with bit-identical results.
-        """
-        return make_rng(stable_seed("level2-subproblem", *key))
+        """See :func:`subproblem_rng` (kept as a method for callers)."""
+        return subproblem_rng(key)
 
     def build_mapping(self, decoded: DecodedIndividual) -> Mapping:
         assignments = []
@@ -446,7 +648,7 @@ class Level1Search:
         try:
             ga = GeneticAlgorithm(
                 genome_length=self.genome_length,
-                fitness=self.fitness,
+                fitness=_Level1Fitness(self),
                 config=self.budget.level1,
                 rng=self.rng,
                 seeds=self.seed_genomes(),
@@ -462,18 +664,26 @@ class Level1Search:
             mapping = self.build_mapping(decoded)
             evaluation = self.evaluator.evaluate_mapping(mapping)
             if self.evaluator.layer_cache_enabled:
-                # Whole-search delta. With workers == 1 this covers the
-                # level-2 sub-GAs too (they price through this
-                # evaluator); with a level-2 process pool the workers'
-                # unpickled evaluators rebuild private caches whose
-                # counters are not observable here, so the delta only
-                # reflects in-process evaluations.
+                # Whole-search in-process delta. With serial budgets
+                # this covers the level-2 sub-GAs too (they price
+                # through this evaluator). Fanned-out sub-problem
+                # solves ship their workers' private cache counters
+                # back with the pool results; that aggregate lands on
+                # ``worker_layer_cache`` so the two views partition the
+                # run instead of silently losing the workers' share.
+                # (Level-2 *population* batches shipped by a level-2
+                # pool still price on worker evaluators without
+                # reporting — their protocol returns bare floats.)
                 result.layer_cache = self.evaluator.layer_cache_stats.since(
                     layer_cache_before
                 )
+                if self.subproblems_fanned_out:
+                    result.worker_layer_cache = self.worker_layer_cache
             return mapping, evaluation, result
         finally:
             if self._owns_level2_pool and self._level2_pool is not None:
                 self._level2_pool.close()
+            if self._owns_level1_pool and self._level1_pool is not None:
+                self._level1_pool.close()
             if self._owns_backend:
                 self.backend.close()

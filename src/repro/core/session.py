@@ -16,8 +16,10 @@ all of that state alive across searches:
   independent of which search, seed or session first posed it;
 * the partition catalog and profiled design table, which depend only
   on the topology/workload;
-* with ``workers > 1``, one level-2 worker pool for the session's
-  whole lifetime, instead of an executor respawn per search.
+* with ``workers > 1``, session-lifetime worker pools — one for the
+  level-2 sub-GAs and one for the level-1 batched sub-problem fan-out
+  (a single shared pool when both levels ask for the same worker
+  count) — instead of an executor respawn per search.
 
 One mapper process serving *many* models is
 :class:`repro.core.serving.MultiModelSession`, a registry of these
@@ -36,7 +38,7 @@ Everything cached is seed-independent, so a warm session is
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.profiler import WorkloadProfile
@@ -94,6 +96,13 @@ class MarsResult:
         """Layer-cost cache counters of the search (``None`` when off)."""
         return self.ga.layer_cache
 
+    @property
+    def worker_layer_cache(self) -> LayerCacheStats | None:
+        """Pool workers' private layer-cache counters for the search,
+        shipped back with fanned-out sub-problem results (``None`` when
+        nothing fanned out)."""
+        return self.ga.worker_layer_cache
+
 
 @dataclass(frozen=True)
 class SessionStats:
@@ -113,10 +122,11 @@ class SessionStats:
     greedy_entries: int
     #: The shared evaluator's layer-cost cache counters (session-cumulative).
     layer_cache: LayerCacheStats
-    #: Level-2 worker-pool executors spawned over the session's lifetime
-    #: (0 when ``workers`` <= 1; 1 for an unbroken pooled lifetime).
+    #: Worker-pool executors spawned over the session's lifetime —
+    #: level-2 and level-1 fan-out pools both counted (0 when
+    #: ``workers`` <= 1; 1 per pool for an unbroken pooled lifetime).
     pool_spawns: int = 0
-    #: Pooled level-2 batches the pool broke mid-flight (each re-ran
+    #: Pooled batches the pools broke mid-flight (each re-ran
     #: serially; unpicklable-work fallbacks are not counted).
     pool_failures: int = 0
     #: Retired pool *backends* the session replaced (bounded by
@@ -141,6 +151,18 @@ class SessionStats:
     #: otherwise warm-start every later deployment with a broken
     #: mapping.
     store_skipped_infeasible: int = 0
+    #: Pool workers' private layer-cache counters, shipped back with
+    #: fanned-out level-1 sub-problem results and merged here
+    #: (session-cumulative; ``entries`` is the largest single-worker
+    #: cache population observed, since worker gauges are not
+    #: additive). Complements :attr:`layer_cache`, which only sees the
+    #: shared in-process evaluator.
+    worker_layer_cache: LayerCacheStats = field(
+        default_factory=LayerCacheStats
+    )
+    #: Distinct level-1 sub-problems solved on pool workers via the
+    #: batched fan-out (session-cumulative; 0 when serial).
+    subproblems_fanned_out: int = 0
 
     @classmethod
     def zero(cls) -> "SessionStats":
@@ -187,6 +209,12 @@ class SessionStats:
             ),
             store_skipped_infeasible=(
                 self.store_skipped_infeasible + other.store_skipped_infeasible
+            ),
+            worker_layer_cache=self.worker_layer_cache.merge(
+                other.worker_layer_cache
+            ),
+            subproblems_fanned_out=(
+                self.subproblems_fanned_out + other.subproblems_fanned_out
             ),
         )
 
@@ -305,6 +333,23 @@ class MarsSession:
             if self.budget.level2.workers > 1
             else None
         )
+        #: The session-lifetime level-1 fan-out pool. When both levels
+        #: ask for the same worker count (the common ``workers=N``
+        #: spelling sets both), the level-2 pool is shared — batches at
+        #: the two levels never overlap in time, so one executor serves
+        #: both without doubling the process footprint.
+        self._share_level1_pool = (
+            self.budget.level1.workers > 1
+            and self._level2_pool is not None
+            and self.budget.level1.workers == self.budget.level2.workers
+        )
+        self._level1_pool: ProcessPoolBackend | None = (
+            ProcessPoolBackend(self.budget.level1.workers)
+            if self.budget.level1.workers > 1 and not self._share_level1_pool
+            else None
+        )
+        self._worker_layer_cache = LayerCacheStats()
+        self._subproblems_fanned_out = 0
         self._pool_respawns = 0
         # Counters of pool backends already replaced, so stats stay
         # cumulative across respawns.
@@ -354,17 +399,32 @@ class MarsSession:
         """The session-owned level-2 worker pool (None when serial)."""
         return self._level2_pool
 
-    def _level2_backend(self) -> ProcessPoolBackend | None:
-        """The pool to hand the next search, applying the respawn policy.
+    @property
+    def level1_pool(self) -> ProcessPoolBackend | None:
+        """The session-owned level-1 fan-out pool (None when serial).
+
+        When both levels request the same worker count this *is* the
+        level-2 pool object — the session runs one shared executor.
+        """
+        if self._share_level1_pool:
+            return self._level2_pool
+        return self._level1_pool
+
+    def _apply_respawn_policy(
+        self, pool: ProcessPoolBackend, workers: int
+    ) -> ProcessPoolBackend:
+        """Replacement for a retired pool, within the respawn budget.
 
         A pool backend retires itself after ``failure_limit``
         consecutive broken batches; rather than running serial forever,
         the session replaces it with a fresh backend — at most
-        :attr:`POOL_RESPAWN_LIMIT` times, so a persistently broken
-        environment converges to the serial path instead of thrashing.
+        :attr:`POOL_RESPAWN_LIMIT` times *across both session pools*,
+        so a persistently broken environment converges to the serial
+        path instead of thrashing. A healthy (or budget-exhausted)
+        pool is returned unchanged; a replaced pool's counters are
+        folded into the retired totals first.
         """
-        pool = self._level2_pool
-        if pool is None or not pool.retired:
+        if not pool.retired:
             return pool
         if self._pool_respawns >= self.POOL_RESPAWN_LIMIT:
             return pool  # retired: every batch takes the serial path
@@ -372,10 +432,34 @@ class MarsSession:
         self._retired_pool_failures += pool.pool_failures
         pool.close()
         self._pool_respawns += 1
-        self._level2_pool = ProcessPoolBackend(
-            self.budget.level2.workers, failure_limit=pool.failure_limit
+        return ProcessPoolBackend(workers, failure_limit=pool.failure_limit)
+
+    def _level2_backend(self) -> ProcessPoolBackend | None:
+        """The pool to hand the next search, applying the respawn policy."""
+        pool = self._level2_pool
+        if pool is None:
+            return None
+        self._level2_pool = self._apply_respawn_policy(
+            pool, self.budget.level2.workers
         )
         return self._level2_pool
+
+    def _level1_backend(self) -> ProcessPoolBackend | None:
+        """The fan-out pool for the next search's level-1 prefetch.
+
+        Shares the level-2 pool when worker counts match (the two
+        levels' batches never overlap in time), otherwise applies the
+        respawn policy to the session's own level-1 pool.
+        """
+        if self._share_level1_pool:
+            return self._level2_backend()
+        pool = self._level1_pool
+        if pool is None:
+            return None
+        self._level1_pool = self._apply_respawn_policy(
+            pool, self.budget.level1.workers
+        )
+        return self._level1_pool
 
     def search(self, seed: int = 0, progress=None) -> MarsResult:
         """Run the two-level GA, reusing every warm cache of the session.
@@ -419,6 +503,7 @@ class MarsSession:
             objective=self.objective,
             solution_cache=self.solution_cache,
             level2_backend=self._level2_backend(),
+            level1_backend=self._level1_backend(),
             partitions=self._partitions,
             design_profile=self._design_profile,
             progress=progress,
@@ -427,6 +512,18 @@ class MarsSession:
         self._partitions = search.partitions
         self._design_profile = search.design_profile
         self._searches += 1
+        # Fold the fan-out workers' shipped-back counters into the
+        # session accumulators. The pool workers persist across
+        # searches (payload-memoized evaluators), so the entries gauge
+        # supersedes rather than sums.
+        wlc = search.worker_layer_cache
+        self._worker_layer_cache = LayerCacheStats(
+            hits=self._worker_layer_cache.hits + wlc.hits,
+            misses=self._worker_layer_cache.misses + wlc.misses,
+            entries=max(self._worker_layer_cache.entries, wlc.entries),
+            evictions=self._worker_layer_cache.evictions + wlc.evictions,
+        )
+        self._subproblems_fanned_out += search.subproblems_fanned_out
         result = MarsResult(
             mapping=mapping, evaluation=evaluation, ga=ga_result
         )
@@ -522,12 +619,12 @@ class MarsSession:
     @property
     def stats(self) -> SessionStats:
         """Current warm-state counters of the session."""
-        pool = self._level2_pool
         pool_spawns = self._retired_pool_spawns
         pool_failures = self._retired_pool_failures
-        if pool is not None:
-            pool_spawns += pool.pool_spawns
-            pool_failures += pool.pool_failures
+        for pool in (self._level2_pool, self._level1_pool):
+            if pool is not None:
+                pool_spawns += pool.pool_spawns
+                pool_failures += pool.pool_failures
         store_hits = store_misses = store_publishes = 0
         store_errors = store_quarantined = 0
         if self._store is not None:
@@ -554,6 +651,8 @@ class MarsSession:
             store_errors=store_errors,
             store_quarantined=store_quarantined,
             store_skipped_infeasible=self._store_skipped_infeasible,
+            worker_layer_cache=self._worker_layer_cache,
+            subproblems_fanned_out=self._subproblems_fanned_out,
         )
 
     @property
@@ -574,7 +673,7 @@ class MarsSession:
         self._design_profile = None
 
     def close(self) -> None:
-        """Shut down the session's worker pool and mark it closed.
+        """Shut down the session's worker pools and mark it closed.
 
         Idempotent. Warm caches survive (they hold no OS resources) but
         :meth:`search` refuses to run on a closed session — a serving
@@ -585,6 +684,8 @@ class MarsSession:
         self._closed = True
         if self._level2_pool is not None:
             self._level2_pool.close()
+        if self._level1_pool is not None:
+            self._level1_pool.close()
 
     def __enter__(self) -> "MarsSession":
         return self

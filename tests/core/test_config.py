@@ -74,6 +74,52 @@ class TestCanonicalization:
         )
 
 
+class TestLevel1WorkerAliasing:
+    """``workers`` must reach the level-1 fan-out, not just level 2.
+
+    Regression: ``budget.level1.workers`` used to be accepted by every
+    spelling (kwarg, ``with_backend``, explicit ``GAConfig``) and then
+    silently ignored — level 1 always ran serial. The knob now drives
+    the batched sub-problem fan-out, and all spellings must stay
+    aliases of each other.
+    """
+
+    def test_worker_override_folds_into_both_levels(self):
+        config = SearchConfig(workers=2).canonical()
+        assert config.budget.level1.workers == 2
+        assert config.budget.level2.workers == 2
+
+    def test_explicit_level1_spelling_fingerprints_identically(self):
+        via_kwarg = SearchConfig(workers=2)
+        via_budget = SearchConfig(
+            budget=SearchBudget(
+                level1=replace(SearchBudget.fast().level1, workers=2),
+                level2=replace(SearchBudget.fast().level2, workers=2),
+            )
+        )
+        assert via_kwarg.fingerprint() == via_budget.fingerprint()
+
+    def test_workers_are_invisible_to_result_fingerprint(self):
+        assert (
+            SearchConfig(workers=2).result_fingerprint()
+            == SearchConfig().result_fingerprint()
+        )
+
+    def test_workers_actually_spawn_a_fanout_pool(self):
+        with MarsSession(CNN, TOPOLOGY, workers=2) as session:
+            assert session.level1_pool is not None
+
+    def test_distinct_level_counts_spawn_distinct_pools(self):
+        budget = SearchBudget(
+            level1=replace(SearchBudget.fast().level1, workers=3),
+            level2=replace(SearchBudget.fast().level2, workers=2),
+        )
+        with MarsSession(CNN, TOPOLOGY, budget=budget) as session:
+            assert session.level1_pool is not None
+            assert session.level2_pool is not None
+            assert session.level1_pool is not session.level2_pool
+
+
 class TestValidation:
     def test_bad_objective_rejected(self):
         with pytest.raises(ValueError, match="objective"):

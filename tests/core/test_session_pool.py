@@ -89,7 +89,7 @@ class TestSessionOwnedPool:
 
 
 class TestLevel1PoolOwnership:
-    def _search(self, level2_backend=None):
+    def _search(self, level2_backend=None, level1_backend=None):
         from repro.accelerators import table2_designs
 
         return Level1Search(
@@ -100,21 +100,39 @@ class TestLevel1PoolOwnership:
             budget=SearchBudget.fast().with_backend(workers=2),
             rng=make_rng(0),
             level2_backend=level2_backend,
+            level1_backend=level1_backend,
         )
 
-    def test_run_closes_a_pool_it_built(self):
+    def test_run_closes_pools_it_built(self):
         search = self._search()
         assert search._owns_level2_pool
+        assert search._owns_level1_pool
         search.run()
         assert search.level2_backend._executor is None  # closed
+        assert search.level1_backend._executor is None  # closed
 
     def test_run_leaves_a_caller_supplied_pool_open(self):
+        # With the level-1 fan-out pre-solving every sub-problem, the
+        # level-2 pool may never lazily spawn its executor during
+        # run(); the contract under test is that run() never *closes* a
+        # pool it was handed — it must stay usable afterwards.
         pool = ProcessPoolBackend(2)
         try:
             search = self._search(level2_backend=pool)
             assert not search._owns_level2_pool
             search.run()
-            assert pool._executor is not None  # survived run()
+            assert not pool.retired  # survived run()
+            assert pool.map(abs, [-1, -2]) == [1, 2]  # still usable
+        finally:
+            pool.close()
+
+    def test_run_leaves_a_caller_supplied_level1_pool_open(self):
+        pool = ProcessPoolBackend(2)
+        try:
+            search = self._search(level1_backend=pool)
+            assert not search._owns_level1_pool
+            search.run()
+            assert pool._executor is not None  # engaged and survived
             assert pool.map(abs, [-1, -2]) == [1, 2]  # still usable
         finally:
             pool.close()
